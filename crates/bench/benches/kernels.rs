@@ -1,0 +1,197 @@
+//! Criterion microbenchmarks for the simulator's hot kernels plus
+//! end-to-end throughput of the pipelines behind every paper figure.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use swip_asmdb::{Asmdb, AsmdbConfig, Cfg};
+use swip_branch::{BranchConfig, BranchUnit, GlobalHistory};
+use swip_cache::{Cache, CacheConfig, HierarchyConfig, MemoryHierarchy, ReplacementKind};
+use swip_core::{SimConfig, Simulator};
+use swip_frontend::{Frontend, FrontendConfig};
+use swip_trace::Trace;
+use swip_types::{Addr, BranchKind};
+use swip_workloads::{cvp1_suite, generate};
+
+fn small_workload() -> Trace {
+    let mut spec = cvp1_suite(30_000).remove(16);
+    spec.instructions = 30_000;
+    generate(&spec)
+}
+
+fn bench_branch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("branch");
+    g.bench_function("predict_at", |b| {
+        let mut unit = BranchUnit::new(BranchConfig::default());
+        for i in 0..1024u64 {
+            unit.resolve(
+                Addr::new(0x1000 + i * 12),
+                BranchKind::CondDirect,
+                Addr::new(0x4000 + i * 4),
+                true,
+                false,
+            );
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            std::hint::black_box(unit.predict_at(Addr::new(0x1000 + i * 12)))
+        });
+    });
+    g.bench_function("resolve", |b| {
+        let mut unit = BranchUnit::new(BranchConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            unit.resolve(
+                Addr::new(0x1000 + i * 8),
+                BranchKind::CondDirect,
+                Addr::new(0x9000),
+                i % 3 == 0,
+                false,
+            );
+        });
+    });
+    g.bench_function("ghr_fold", |b| {
+        let mut h = GlobalHistory::new();
+        for i in 0..200 {
+            h.push(i % 3 == 0);
+        }
+        b.iter(|| std::hint::black_box(h.fold(128, 14)));
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.bench_function("l1_access_hit", |b| {
+        let mut cache = Cache::new(CacheConfig::with_capacity_kib(
+            "L1I",
+            32,
+            8,
+            4,
+            8,
+            ReplacementKind::Lru,
+        ));
+        for n in 0..512u64 {
+            cache.fill(Addr::new(n * 64).line(), false);
+        }
+        let mut n = 0u64;
+        b.iter(|| {
+            n = (n + 1) % 512;
+            std::hint::black_box(cache.access(Addr::new(n * 64).line(), false))
+        });
+    });
+    g.bench_function("hierarchy_fetch", |b| {
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::sunny_cove_like());
+        let mut now = 0u64;
+        let mut n = 0u64;
+        b.iter(|| {
+            n = (n + 7) % 4096;
+            now += 500;
+            std::hint::black_box(mem.fetch_instr(Addr::new(n * 64).line(), now))
+        });
+    });
+    g.finish();
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend");
+    g.sample_size(20);
+    let trace = small_workload();
+    g.bench_function("drain_30k_instrs", |b| {
+        b.iter_batched(
+            || {
+                (
+                    Frontend::new(FrontendConfig::industry_standard()),
+                    MemoryHierarchy::new(HierarchyConfig::sunny_cove_like()),
+                )
+            },
+            |(mut fe, mut mem)| {
+                let mut out = Vec::new();
+                let mut now = 0;
+                while !fe.is_done(&trace) && now < 10_000_000 {
+                    out.clear();
+                    fe.cycle(now, &trace, &mut mem, usize::MAX, &mut out);
+                    for d in &out {
+                        let i = &trace.instructions()[d.seq as usize];
+                        if i.is_branch() {
+                            fe.handle_resolution(d.seq, i, now + 1);
+                        }
+                    }
+                    now += 1;
+                }
+                now
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    let trace = small_workload();
+    for (name, cfg) in [
+        ("ftq2_30k", SimConfig::conservative()),
+        ("ftq24_30k", SimConfig::sunny_cove_like()),
+    ] {
+        g.bench_function(name, |b| {
+            let sim = Simulator::new(cfg.clone());
+            b.iter(|| std::hint::black_box(sim.run(&trace)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_asmdb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("asmdb");
+    g.sample_size(10);
+    let trace = small_workload();
+    g.bench_function("cfg_from_trace", |b| {
+        b.iter(|| std::hint::black_box(Cfg::from_trace(&trace)));
+    });
+    let asmdb = Asmdb::new(AsmdbConfig::default());
+    let cfg = SimConfig::conservative();
+    let profile = asmdb.profile(&trace, &cfg);
+    g.bench_function("plan", |b| {
+        b.iter(|| std::hint::black_box(asmdb.plan(&trace, &profile, &cfg)));
+    });
+    let (plan, _) = asmdb.plan(&trace, &profile, &cfg);
+    g.bench_function("rewrite", |b| {
+        b.iter(|| std::hint::black_box(swip_asmdb::rewrite_trace(&trace, &plan)));
+    });
+    g.finish();
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+    g.sample_size(10);
+    g.bench_function("workload_generate_30k", |b| {
+        let spec = {
+            let mut s = cvp1_suite(30_000).remove(16);
+            s.instructions = 30_000;
+            s
+        };
+        b.iter(|| std::hint::black_box(generate(&spec)));
+    });
+    let trace = small_workload();
+    g.bench_function("trace_codec_roundtrip", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            trace.write_to(&mut buf).unwrap();
+            std::hint::black_box(Trace::read_from(buf.as_slice()).unwrap())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_branch,
+    bench_cache,
+    bench_frontend,
+    bench_simulator,
+    bench_asmdb,
+    bench_substrate
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Ablation: AsmDB's fanout/reach threshold ("Increasing AsmDB's fanout
+//! threshold decreases its accuracy but results in higher miss coverage").
+
+use swip_asmdb::{Asmdb, AsmdbConfig};
+use swip_bench::Harness;
+use swip_core::{SimConfig, Simulator};
+use swip_types::geomean;
+use swip_workloads::generate;
+
+const REACHES: [f64; 4] = [0.10, 0.30, 0.50, 0.70];
+
+fn main() {
+    let h = Harness::from_env();
+    let mut per: Vec<Vec<f64>> = vec![Vec::new(); REACHES.len() * 2];
+    let mut rows = Vec::new();
+    for spec in h.workloads() {
+        let trace = generate(&spec);
+        let cons = SimConfig::conservative();
+        let base = Simulator::new(cons.clone()).run(&trace);
+        let mut cells = vec![spec.name.clone()];
+        for (i, &reach) in REACHES.iter().enumerate() {
+            let asmdb = Asmdb::new(AsmdbConfig {
+                min_reach: reach,
+                ..h.asmdb.clone()
+            });
+            let out = asmdb.run(&trace, &cons);
+            let s = Simulator::new(cons.clone())
+                .run(&out.rewritten)
+                .speedup_over(&base);
+            per[i * 2].push(s);
+            per[i * 2 + 1].push(out.report.dynamic_bloat * 100.0);
+            cells.push(format!("{s:.4}\t{:.2}", out.report.dynamic_bloat * 100.0));
+        }
+        let row = cells.join("\t");
+        eprintln!("{row}");
+        rows.push(row);
+    }
+    let mut geo = vec!["geomean/avg".to_string()];
+    for (i, _) in REACHES.iter().enumerate() {
+        let avg_bloat: f64 =
+            per[i * 2 + 1].iter().sum::<f64>() / per[i * 2 + 1].len().max(1) as f64;
+        geo.push(format!("{:.4}\t{avg_bloat:.2}", geomean(&per[i * 2])));
+    }
+    rows.push(geo.join("\t"));
+    swip_bench::emit_tsv(
+        "ablation_fanout",
+        "workload\tr10_speedup\tr10_bloat\tr30_speedup\tr30_bloat\tr50_speedup\tr50_bloat\tr70_speedup\tr70_bloat",
+        &rows,
+    );
+}

@@ -1,0 +1,39 @@
+//! Ablation: FTQ depth sweep (the design axis separating the paper's
+//! conservative and industry-standard front-ends).
+
+use swip_bench::Harness;
+use swip_core::{SimConfig, Simulator};
+use swip_types::geomean;
+use swip_workloads::generate;
+
+const DEPTHS: [usize; 7] = [2, 4, 8, 12, 16, 24, 32];
+
+fn main() {
+    let h = Harness::from_env();
+    let mut per_depth: Vec<Vec<f64>> = vec![Vec::new(); DEPTHS.len()];
+    let mut rows = Vec::new();
+    for spec in h.workloads() {
+        let trace = generate(&spec);
+        let base = Simulator::new(SimConfig::conservative()).run(&trace);
+        let mut cells = vec![spec.name.clone()];
+        for (i, &d) in DEPTHS.iter().enumerate() {
+            let r = Simulator::new(SimConfig::sunny_cove_like().with_ftq_entries(d)).run(&trace);
+            let s = r.speedup_over(&base);
+            per_depth[i].push(s);
+            cells.push(format!("{s:.4}"));
+        }
+        let row = cells.join("\t");
+        eprintln!("{row}");
+        rows.push(row);
+    }
+    let mut geo = vec!["geomean".to_string()];
+    for v in &per_depth {
+        geo.push(format!("{:.4}", geomean(v)));
+    }
+    rows.push(geo.join("\t"));
+    swip_bench::emit_tsv(
+        "ablation_ftq",
+        "workload\tftq2\tftq4\tftq8\tftq12\tftq16\tftq24\tftq32",
+        &rows,
+    );
+}

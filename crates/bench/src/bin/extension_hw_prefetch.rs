@@ -1,0 +1,58 @@
+//! Extension: hardware instruction prefetching on top of the
+//! industry-standard FDP — next-line and an EIP-like entangling prefetcher
+//! (the hardware comparison point referenced by the paper's Fig. 1 caption)
+//! versus software prefetching (AsmDB, no-overhead).
+
+use swip_asmdb::Asmdb;
+use swip_bench::Harness;
+use swip_cache::EntanglingConfig;
+use swip_core::{SimConfig, Simulator};
+use swip_types::geomean;
+use swip_workloads::generate;
+
+fn main() {
+    let h = Harness::from_env();
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    let mut rows = Vec::new();
+    for spec in h.workloads() {
+        let trace = generate(&spec);
+        let cons = SimConfig::conservative();
+        let base = Simulator::new(cons.clone()).run(&trace);
+
+        let fdp = SimConfig::sunny_cove_like();
+        let mut fdp_nl = SimConfig::sunny_cove_like();
+        fdp_nl.memory.l1i_next_line_prefetch = true;
+        let mut fdp_eip = SimConfig::sunny_cove_like();
+        fdp_eip.memory.l1i_entangling = Some(EntanglingConfig::default());
+
+        let asmdb_out = Asmdb::new(h.asmdb.clone()).run(&trace, &cons);
+
+        let runs = [
+            Simulator::new(fdp.clone()).run(&trace),
+            Simulator::new(fdp_nl).run(&trace),
+            Simulator::new(fdp_eip).run(&trace),
+            Simulator::new(fdp).run_with_hints(&trace, &asmdb_out.hints),
+        ];
+        let mut cells = vec![spec.name.clone()];
+        for (i, r) in runs.iter().enumerate() {
+            let s = r.speedup_over(&base);
+            series[i].push(s);
+            cells.push(format!("{s:.4}"));
+        }
+        let row = cells.join("\t");
+        eprintln!("{row}");
+        rows.push(row);
+    }
+    rows.push(format!(
+        "geomean\t{:.4}\t{:.4}\t{:.4}\t{:.4}",
+        geomean(&series[0]),
+        geomean(&series[1]),
+        geomean(&series[2]),
+        geomean(&series[3])
+    ));
+    swip_bench::emit_tsv(
+        "extension_hw_prefetch",
+        "workload\tfdp\tfdp+nextline\tfdp+eip\tfdp+asmdb_noov",
+        &rows,
+    );
+}

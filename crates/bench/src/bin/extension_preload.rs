@@ -1,0 +1,68 @@
+//! Extension (§VI): metadata preloading vs. instruction insertion.
+//!
+//! The paper proposes offsetting the insertion overhead by "allocating a
+//! portion of the binary to direct a hardware prefetcher", preloading that
+//! metadata "into dedicated hardware structures in the LLC", and checking
+//! it "on an access to the L1-I". This binary compares, on the
+//! industry-standard FDP:
+//!
+//! * baseline FDP,
+//! * AsmDB with inserted `prefetch.i` instructions,
+//! * AsmDB as no-overhead hints (the paper's idealized upper bound),
+//! * AsmDB as preloaded metadata (this extension: no instruction overhead,
+//!   but realistic trigger/metadata-latency limitations).
+
+use swip_asmdb::Asmdb;
+use swip_bench::Harness;
+use swip_core::{SimConfig, Simulator};
+use swip_frontend::PreloadConfig;
+use swip_types::geomean;
+use swip_workloads::generate;
+
+fn main() {
+    let h = Harness::from_env();
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    let mut rows = Vec::new();
+    for spec in h.workloads() {
+        let trace = generate(&spec);
+        let cons = SimConfig::conservative();
+        let fdp = SimConfig::sunny_cove_like();
+        let out = Asmdb::new(h.asmdb.clone()).run(&trace, &cons);
+        let base = Simulator::new(cons).run(&trace);
+        let runs = [
+            Simulator::new(fdp.clone()).run(&trace),
+            Simulator::new(fdp.clone()).run(&out.rewritten),
+            Simulator::new(fdp.clone()).run_with_hints(&trace, &out.hints),
+            Simulator::new(fdp).run_with_preload(
+                &trace,
+                &out.plan.to_preload_metadata(),
+                PreloadConfig::default(),
+            ),
+        ];
+        let mut cells = vec![spec.name.clone()];
+        for (i, r) in runs.iter().enumerate() {
+            let s = r.speedup_over(&base);
+            series[i].push(s);
+            cells.push(format!("{s:.4}"));
+        }
+        cells.push(format!(
+            "{}",
+            runs[3].frontend.swpf_preloaded.get()
+        ));
+        let row = cells.join("\t");
+        eprintln!("{row}");
+        rows.push(row);
+    }
+    rows.push(format!(
+        "geomean\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t-",
+        geomean(&series[0]),
+        geomean(&series[1]),
+        geomean(&series[2]),
+        geomean(&series[3])
+    ));
+    swip_bench::emit_tsv(
+        "extension_preload",
+        "workload\tfdp\tasmdb_instr\tasmdb_hints\tasmdb_preload\tpreload_prefetches",
+        &rows,
+    );
+}

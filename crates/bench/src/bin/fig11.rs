@@ -1,0 +1,31 @@
+//! Regenerates Fig11: FTQ entries reaching the head position while still fetching, for the 2-entry (a) and 24-entry (b)
+//! front-ends, under baseline FDP, AsmDB+FDP, and AsmDB+FDP with no
+//! insertion overhead. Counts are raw for the configured instruction budget
+//! (the paper plots the same counters over 100 M instructions).
+
+use swip_bench::Harness;
+
+fn main() {
+    let h = Harness::from_env();
+    let mut rows = Vec::new();
+    for spec in h.workloads() {
+        let r = h.run_workload(&spec);
+        let row = format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            r.name,
+            r.base.frontend.partially_covered_entries,
+            r.asmdb_cons.frontend.partially_covered_entries,
+            r.asmdb_cons_noov.frontend.partially_covered_entries,
+            r.fdp.frontend.partially_covered_entries,
+            r.asmdb_fdp.frontend.partially_covered_entries,
+            r.asmdb_fdp_noov.frontend.partially_covered_entries,
+        );
+        eprintln!("{row}");
+        rows.push(row);
+    }
+    swip_bench::emit_tsv(
+        "fig11",
+        "workload\tftq2_fdp\tftq2_asmdb\tftq2_asmdb_noov\tftq24_fdp\tftq24_asmdb\tftq24_asmdb_noov",
+        &rows,
+    );
+}

@@ -1,0 +1,35 @@
+//! Regenerates Figure 7: static (7a) and dynamic (7b) code bloat of AsmDB.
+
+use swip_bench::Harness;
+
+fn main() {
+    let h = Harness::from_env();
+    let mut rows = Vec::new();
+    let (mut s_sum, mut d_sum, mut n) = (0.0, 0.0, 0u32);
+    for spec in h.workloads() {
+        let r = h.run_workload(&spec);
+        let row = format!(
+            "{}\t{:.4}\t{:.4}\t{}\t{}",
+            r.name,
+            r.bloat.static_bloat * 100.0,
+            r.bloat.dynamic_bloat * 100.0,
+            r.bloat.inserted_sites,
+            r.bloat.inserted_dynamic
+        );
+        eprintln!("{row}");
+        rows.push(row);
+        s_sum += r.bloat.static_bloat * 100.0;
+        d_sum += r.bloat.dynamic_bloat * 100.0;
+        n += 1;
+    }
+    rows.push(format!(
+        "average\t{:.4}\t{:.4}\t-\t-",
+        s_sum / n.max(1) as f64,
+        d_sum / n.max(1) as f64
+    ));
+    swip_bench::emit_tsv(
+        "fig7",
+        "workload\tstatic_bloat_pct\tdynamic_bloat_pct\tstatic_sites\tdynamic_prefetches",
+        &rows,
+    );
+}

@@ -1,0 +1,26 @@
+//! Section III support: the per-cycle FTQ-state taxonomy (Scenarios 1/2/3)
+//! under each configuration.
+
+use swip_bench::Harness;
+
+fn main() {
+    let h = Harness::from_env();
+    let mut rows = Vec::new();
+    for spec in h.workloads() {
+        let r = h.run_workload(&spec);
+        for (cfg, rep) in [
+            ("ftq2_fdp", &r.base),
+            ("ftq2_asmdb", &r.asmdb_cons),
+            ("ftq24_fdp", &r.fdp),
+            ("ftq24_asmdb", &r.asmdb_fdp),
+        ] {
+            let (s1, s2, s3, empty) = rep.frontend.scenario_fractions();
+            rows.push(format!(
+                "{}\t{}\t{:.4}\t{:.4}\t{:.4}\t{:.4}",
+                r.name, cfg, s1, s2, s3, empty
+            ));
+        }
+        eprintln!("done {}", r.name);
+    }
+    swip_bench::emit_tsv("scenarios", "workload\tconfig\ts1\ts2\ts3\tempty", &rows);
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table I: the simulation parameters.
+
+use swip_core::SimConfig;
+
+fn main() {
+    let mut rows = Vec::new();
+    for (k, v) in SimConfig::sunny_cove_like().table_rows() {
+        rows.push(format!("{k}\t{v}"));
+    }
+    rows.push(format!(
+        "FTQ (conservative)\t{} entries",
+        SimConfig::conservative().frontend.ftq_entries
+    ));
+    swip_bench::emit_tsv("table1", "parameter\tvalue", &rows);
+}

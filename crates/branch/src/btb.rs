@@ -1,0 +1,232 @@
+//! The branch target buffer.
+
+use swip_types::{Addr, BranchKind};
+
+/// One BTB entry: the branch's kind and (last-seen) target.
+///
+/// FDP's path speculation treats instructions that miss in the BTB as
+/// non-branches, so the BTB is the front-end's *only* map of where control
+/// flow can diverge — its reach is a first-order determinant of how far FDP
+/// can run ahead.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct BtbEntry {
+    /// PC of the branch this entry describes.
+    pub pc: Addr,
+    /// Branch flavor recorded at the last resolution.
+    pub kind: BranchKind,
+    /// Last-seen target (meaningless for returns, which use the RAS).
+    pub target: Addr,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Way {
+    tag: u64,
+    kind: BranchKind,
+    target: Addr,
+    lru: u64,
+    valid: bool,
+}
+
+impl Way {
+    const INVALID: Way = Way {
+        tag: 0,
+        kind: BranchKind::CondDirect,
+        target: Addr::ZERO,
+        lru: 0,
+        valid: false,
+    };
+}
+
+/// A set-associative branch target buffer with per-set LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use swip_types::{Addr, BranchKind};
+/// use swip_branch::Btb;
+///
+/// let mut btb = Btb::new(1024, 4);
+/// let pc = Addr::new(0x1004);
+/// assert!(btb.lookup(pc).is_none());
+/// btb.insert(pc, BranchKind::UncondDirect, Addr::new(0x2000));
+/// assert_eq!(btb.lookup(pc).unwrap().target, Addr::new(0x2000));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Btb {
+    sets: Vec<Vec<Way>>,
+    set_bits: u32,
+    assoc: usize,
+    tick: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `sets` sets of `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or either argument is zero.
+    pub fn new(sets: usize, assoc: usize) -> Self {
+        assert!(sets.is_power_of_two() && sets > 0, "sets must be a power of two");
+        assert!(assoc > 0, "associativity must be nonzero");
+        Btb {
+            sets: vec![vec![Way::INVALID; assoc]; sets],
+            set_bits: sets.trailing_zeros(),
+            assoc,
+            tick: 0,
+        }
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.assoc
+    }
+
+    fn index_and_tag(&self, pc: Addr) -> (usize, u64) {
+        let x = pc.raw() >> 2; // 4-byte aligned instructions
+        // Hash high bits into the index (as real BTBs do) so regularly
+        // strided code layouts do not collapse onto a few sets.
+        let mixed = x ^ (x >> self.set_bits) ^ (x >> (2 * self.set_bits));
+        let idx = (mixed & ((1u64 << self.set_bits) - 1)) as usize;
+        let tag = x; // full tag; hashing the index forbids dropping bits
+        (idx, tag)
+    }
+
+    /// Looks up `pc`, refreshing LRU state on a hit.
+    pub fn lookup(&mut self, pc: Addr) -> Option<BtbEntry> {
+        let (idx, tag) = self.index_and_tag(pc);
+        self.tick += 1;
+        let tick = self.tick;
+        for way in self.sets[idx].iter_mut() {
+            if way.valid && way.tag == tag {
+                way.lru = tick;
+                return Some(BtbEntry {
+                    pc,
+                    kind: way.kind,
+                    target: way.target,
+                });
+            }
+        }
+        None
+    }
+
+    /// Looks up `pc` without perturbing replacement state.
+    pub fn peek(&self, pc: Addr) -> Option<BtbEntry> {
+        let (idx, tag) = self.index_and_tag(pc);
+        self.sets[idx]
+            .iter()
+            .find(|w| w.valid && w.tag == tag)
+            .map(|w| BtbEntry {
+                pc,
+                kind: w.kind,
+                target: w.target,
+            })
+    }
+
+    /// Installs or updates the entry for `pc`. Returns `true` if this
+    /// *allocated* a new entry (miss fill), `false` if it updated in place.
+    pub fn insert(&mut self, pc: Addr, kind: BranchKind, target: Addr) -> bool {
+        let (idx, tag) = self.index_and_tag(pc);
+        self.tick += 1;
+        let tick = self.tick;
+        let set = &mut self.sets[idx];
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.kind = kind;
+            way.target = target;
+            way.lru = tick;
+            return false;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.lru } else { 0 })
+            .expect("btb set is never empty");
+        *victim = Way {
+            tag,
+            kind,
+            target,
+            lru: tick,
+            valid: true,
+        };
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut btb = Btb::new(64, 2);
+        let pc = Addr::new(0x1000);
+        assert!(btb.lookup(pc).is_none());
+        assert!(btb.insert(pc, BranchKind::CondDirect, Addr::new(0x40)));
+        let e = btb.lookup(pc).unwrap();
+        assert_eq!(e.kind, BranchKind::CondDirect);
+        assert_eq!(e.target, Addr::new(0x40));
+    }
+
+    #[test]
+    fn update_in_place_returns_false() {
+        let mut btb = Btb::new(64, 2);
+        let pc = Addr::new(0x1000);
+        btb.insert(pc, BranchKind::CondDirect, Addr::new(0x40));
+        assert!(!btb.insert(pc, BranchKind::CondDirect, Addr::new(0x80)));
+        assert_eq!(btb.lookup(pc).unwrap().target, Addr::new(0x80));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut btb = Btb::new(1, 2);
+        // All PCs map to set 0.
+        let a = Addr::new(0x0);
+        let b = Addr::new(0x4);
+        let c = Addr::new(0x8);
+        btb.insert(a, BranchKind::CondDirect, Addr::new(0x100));
+        btb.insert(b, BranchKind::CondDirect, Addr::new(0x200));
+        btb.lookup(a); // refresh a; b becomes LRU
+        btb.insert(c, BranchKind::CondDirect, Addr::new(0x300));
+        assert!(btb.peek(a).is_some());
+        assert!(btb.peek(b).is_none());
+        assert!(btb.peek(c).is_some());
+    }
+
+    #[test]
+    fn peek_does_not_refresh_lru() {
+        let mut btb = Btb::new(1, 2);
+        let a = Addr::new(0x0);
+        let b = Addr::new(0x4);
+        let c = Addr::new(0x8);
+        btb.insert(a, BranchKind::CondDirect, Addr::new(0x100));
+        btb.insert(b, BranchKind::CondDirect, Addr::new(0x200));
+        btb.peek(a); // must NOT refresh; a stays LRU
+        btb.insert(c, BranchKind::CondDirect, Addr::new(0x300));
+        assert!(btb.peek(a).is_none());
+        assert!(btb.peek(b).is_some());
+    }
+
+    #[test]
+    fn distinct_pcs_do_not_alias_within_capacity() {
+        let mut btb = Btb::new(256, 4);
+        for i in 0..256u64 {
+            btb.insert(Addr::new(i * 4), BranchKind::UncondDirect, Addr::new(i));
+        }
+        for i in 0..256u64 {
+            assert_eq!(
+                btb.peek(Addr::new(i * 4)).unwrap().target,
+                Addr::new(i),
+                "pc {i} lost"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_panics() {
+        let _ = Btb::new(3, 2);
+    }
+
+    #[test]
+    fn capacity() {
+        assert_eq!(Btb::new(1024, 8).capacity(), 8192);
+    }
+}

@@ -1,0 +1,157 @@
+//! Cache and hierarchy configuration.
+
+use swip_types::CACHE_LINE_SIZE;
+
+use crate::{EntanglingConfig, ReplacementKind, TlbConfig};
+
+/// Geometry and timing of one cache level.
+#[derive(Clone, Debug)]
+pub struct CacheConfig {
+    /// Human-readable level name (appears in reports).
+    pub name: String,
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Cycles added when a request is satisfied at this level (beyond the
+    /// cycles already spent reaching it).
+    pub latency: u64,
+    /// Maximum outstanding misses (MSHR count); `0` means unlimited.
+    pub mshrs: usize,
+    /// Replacement policy.
+    pub replacement: ReplacementKind,
+}
+
+impl CacheConfig {
+    /// Creates a config sized by capacity in KiB instead of set count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting set count is not a positive power of two.
+    pub fn with_capacity_kib(
+        name: impl Into<String>,
+        capacity_kib: usize,
+        ways: usize,
+        latency: u64,
+        mshrs: usize,
+        replacement: ReplacementKind,
+    ) -> Self {
+        let lines = capacity_kib * 1024 / CACHE_LINE_SIZE as usize;
+        let sets = lines / ways;
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "capacity {capacity_kib} KiB / {ways} ways gives non-power-of-two set count {sets}"
+        );
+        CacheConfig {
+            name: name.into(),
+            sets,
+            ways,
+            latency,
+            mshrs,
+            replacement,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets * self.ways * CACHE_LINE_SIZE as usize
+    }
+}
+
+/// Configuration for the full memory hierarchy.
+#[derive(Clone, Debug)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Last-level cache.
+    pub llc: CacheConfig,
+    /// Cycles added by a DRAM access (after missing the LLC).
+    pub dram_latency: u64,
+    /// If true, an L1-I demand miss also prefetches the next sequential
+    /// line (simple hardware prefetcher, used only for ablations; the
+    /// paper's baseline relies on FDP alone).
+    pub l1i_next_line_prefetch: bool,
+    /// Optional EIP-like entangling instruction prefetcher at the L1-I
+    /// (the hardware comparison point referenced by the paper's Fig. 1
+    /// caption). `None` in the paper's baseline configurations.
+    pub l1i_entangling: Option<EntanglingConfig>,
+    /// Optional instruction TLB (adds walk latency to fetches that miss
+    /// it). `None` in the baseline configurations so Table I timing is
+    /// unchanged; enabled in ablations.
+    pub itlb: Option<TlbConfig>,
+}
+
+impl HierarchyConfig {
+    /// A Sunny-Cove-like hierarchy matching the paper's Table I scale:
+    /// 32 KiB/8-way L1-I (4-cycle), 48 KiB/12-way L1-D (5-cycle),
+    /// 512 KiB/8-way L2 (+10), 2 MiB/16-way LLC (+20), 200-cycle DRAM.
+    pub fn sunny_cove_like() -> Self {
+        HierarchyConfig {
+            l1i: CacheConfig::with_capacity_kib("L1I", 32, 8, 4, 8, ReplacementKind::Lru),
+            l1d: CacheConfig::with_capacity_kib("L1D", 48, 12, 5, 16, ReplacementKind::Lru),
+            l2: CacheConfig::with_capacity_kib("L2", 512, 8, 10, 32, ReplacementKind::Lru),
+            llc: CacheConfig::with_capacity_kib("LLC", 2048, 16, 20, 64, ReplacementKind::Srrip),
+            dram_latency: 200,
+            l1i_next_line_prefetch: false,
+            l1i_entangling: None,
+            itlb: None,
+        }
+    }
+
+    /// A small hierarchy for fast tests: 4 KiB L1s, 16 KiB L2, 64 KiB LLC.
+    pub fn tiny() -> Self {
+        HierarchyConfig {
+            l1i: CacheConfig::with_capacity_kib("L1I", 4, 4, 2, 4, ReplacementKind::Lru),
+            l1d: CacheConfig::with_capacity_kib("L1D", 4, 4, 2, 4, ReplacementKind::Lru),
+            l2: CacheConfig::with_capacity_kib("L2", 16, 4, 6, 8, ReplacementKind::Lru),
+            llc: CacheConfig::with_capacity_kib("LLC", 64, 8, 12, 16, ReplacementKind::Srrip),
+            dram_latency: 60,
+            l1i_next_line_prefetch: false,
+            l1i_entangling: None,
+            itlb: None,
+        }
+    }
+
+    /// Total round-trip latency of a request that misses every level.
+    pub fn worst_case_latency(&self) -> u64 {
+        self.l1i.latency + self.l2.latency + self.llc.latency + self.dram_latency
+    }
+
+    /// Latency of a request satisfied by the LLC (the distance heuristic
+    /// AsmDB multiplies by IPC).
+    pub fn llc_round_trip(&self) -> u64 {
+        self.l1i.latency + self.l2.latency + self.llc.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_sizing() {
+        let c = CacheConfig::with_capacity_kib("L1I", 32, 8, 4, 8, ReplacementKind::Lru);
+        assert_eq!(c.sets, 64);
+        assert_eq!(c.capacity_bytes(), 32 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-power-of-two")]
+    fn bad_geometry_panics() {
+        let _ = CacheConfig::with_capacity_kib("x", 48, 8, 4, 8, ReplacementKind::Lru);
+    }
+
+    #[test]
+    fn sunny_cove_shape() {
+        let h = HierarchyConfig::sunny_cove_like();
+        assert_eq!(h.l1i.capacity_bytes(), 32 * 1024);
+        assert_eq!(h.l1d.capacity_bytes(), 48 * 1024);
+        assert_eq!(h.llc.capacity_bytes(), 2 * 1024 * 1024);
+        assert_eq!(h.worst_case_latency(), 4 + 10 + 20 + 200);
+        assert_eq!(h.llc_round_trip(), 34);
+    }
+}

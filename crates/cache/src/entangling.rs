@@ -1,0 +1,224 @@
+//! An entangling instruction prefetcher (EIP-like).
+//!
+//! The paper's Figure 1 caption references EIP — the Entangling Instruction
+//! Prefetcher (Ros & Jimborean), winner of the first Instruction Prefetching
+//! Championship — as the hardware point of comparison for an
+//! industry-standard front-end. This module implements the core entangling
+//! idea at the scale our model needs:
+//!
+//! * every L1-I *demand* access is remembered in a short timestamped
+//!   history;
+//! * when a demand access misses, the prefetcher picks as its *entangling
+//!   source* the youngest historical access old enough to have covered the
+//!   miss latency, and records `source → missing line`;
+//! * every later access to a source line prefetches its entangled
+//!   destinations, ideally arriving exactly when the original miss would
+//!   have.
+
+use std::collections::VecDeque;
+
+use swip_types::{Counter, Cycle, LineAddr};
+
+/// Configuration of the entangling prefetcher.
+#[derive(Clone, Debug)]
+pub struct EntanglingConfig {
+    /// log2 of the entangling-table entry count.
+    pub table_log2: u32,
+    /// Destinations remembered per source line.
+    pub dsts_per_src: usize,
+    /// Length of the timestamped access history.
+    pub history_len: usize,
+}
+
+impl Default for EntanglingConfig {
+    fn default() -> Self {
+        EntanglingConfig {
+            table_log2: 12,
+            dsts_per_src: 2,
+            history_len: 64,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct EntEntry {
+    tag: u64,
+    dsts: Vec<LineAddr>,
+    valid: bool,
+}
+
+/// Per-prefetcher statistics.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct EntanglingStats {
+    /// (source → destination) pairs recorded.
+    pub entangles: Counter,
+    /// Prefetches emitted on source accesses.
+    pub prefetches: Counter,
+}
+
+/// The entangling prefetcher engine (state only; the memory hierarchy issues
+/// the prefetches this engine requests).
+#[derive(Clone, Debug)]
+pub struct EntanglingPrefetcher {
+    config: EntanglingConfig,
+    table: Vec<EntEntry>,
+    history: VecDeque<(LineAddr, Cycle)>,
+    stats: EntanglingStats,
+}
+
+impl EntanglingPrefetcher {
+    /// Creates a prefetcher from `config`.
+    pub fn new(config: EntanglingConfig) -> Self {
+        EntanglingPrefetcher {
+            table: vec![
+                EntEntry {
+                    tag: 0,
+                    dsts: Vec::new(),
+                    valid: false
+                };
+                1 << config.table_log2
+            ],
+            history: VecDeque::with_capacity(config.history_len),
+            stats: EntanglingStats::default(),
+            config,
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &EntanglingStats {
+        &self.stats
+    }
+
+    fn index_and_tag(&self, line: LineAddr) -> (usize, u64) {
+        let n = line.number();
+        let mixed = n ^ (n >> self.config.table_log2);
+        (
+            (mixed & ((1u64 << self.config.table_log2) - 1)) as usize,
+            n,
+        )
+    }
+
+    /// Notes a demand access to `line` at `now`; returns the entangled
+    /// destinations to prefetch.
+    pub fn on_demand_access(&mut self, line: LineAddr, now: Cycle) -> Vec<LineAddr> {
+        let (idx, tag) = self.index_and_tag(line);
+        let out = {
+            let e = &self.table[idx];
+            if e.valid && e.tag == tag {
+                e.dsts.clone()
+            } else {
+                Vec::new()
+            }
+        };
+        self.stats.prefetches.add(out.len() as u64);
+        if self.history.len() == self.config.history_len {
+            self.history.pop_front();
+        }
+        self.history.push_back((line, now));
+        out
+    }
+
+    /// Notes that the demand access to `line` at `now` missed with the given
+    /// fill latency; entangles it with the youngest access old enough to
+    /// have hidden that latency.
+    pub fn on_demand_miss(&mut self, line: LineAddr, now: Cycle, latency: u64) {
+        let need_by = now.saturating_sub(latency);
+        // Youngest history entry with timestamp <= need_by; fall back to the
+        // oldest (the best available) when none is old enough.
+        let src = self
+            .history
+            .iter()
+            .rev()
+            .find(|&&(l, t)| t <= need_by && l != line)
+            .or_else(|| self.history.iter().find(|&&(l, _)| l != line))
+            .map(|&(l, _)| l);
+        let Some(src) = src else {
+            return;
+        };
+        let (idx, tag) = self.index_and_tag(src);
+        let dsts_per_src = self.config.dsts_per_src;
+        let e = &mut self.table[idx];
+        if !(e.valid && e.tag == tag) {
+            *e = EntEntry {
+                tag,
+                dsts: Vec::with_capacity(dsts_per_src),
+                valid: true,
+            };
+        }
+        if !e.dsts.contains(&line) {
+            if e.dsts.len() == dsts_per_src {
+                e.dsts.remove(0);
+            }
+            e.dsts.push(line);
+            self.stats.entangles.incr();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::from_line_number(n)
+    }
+
+    fn pf() -> EntanglingPrefetcher {
+        EntanglingPrefetcher::new(EntanglingConfig {
+            table_log2: 6,
+            dsts_per_src: 2,
+            history_len: 8,
+        })
+    }
+
+    #[test]
+    fn entangles_with_a_source_old_enough() {
+        let mut p = pf();
+        p.on_demand_access(line(1), 0);
+        p.on_demand_access(line(2), 50);
+        p.on_demand_access(line(3), 100);
+        // Miss at t=100 with latency 80 → need_by=20 → source is line 1.
+        p.on_demand_miss(line(9), 100, 80);
+        assert_eq!(p.stats().entangles.get(), 1);
+        // A later access to line 1 prefetches line 9.
+        let out = p.on_demand_access(line(1), 200);
+        assert_eq!(out, vec![line(9)]);
+    }
+
+    #[test]
+    fn falls_back_to_oldest_when_nothing_is_old_enough() {
+        let mut p = pf();
+        p.on_demand_access(line(4), 95);
+        p.on_demand_miss(line(9), 100, 80); // need_by=20, nothing qualifies
+        let out = p.on_demand_access(line(4), 200);
+        assert_eq!(out, vec![line(9)]);
+    }
+
+    #[test]
+    fn dst_list_is_bounded_fifo() {
+        let mut p = pf();
+        p.on_demand_access(line(1), 0);
+        for (i, t) in [(10u64, 300u64), (11, 301), (12, 302)] {
+            p.on_demand_miss(line(i), t, 250);
+        }
+        let out = p.on_demand_access(line(1), 400);
+        assert_eq!(out, vec![line(11), line(12)], "oldest destination evicted");
+    }
+
+    #[test]
+    fn never_entangles_a_line_with_itself() {
+        let mut p = pf();
+        p.on_demand_access(line(5), 0);
+        p.on_demand_miss(line(5), 100, 80);
+        assert_eq!(p.stats().entangles.get(), 0);
+    }
+
+    #[test]
+    fn duplicate_entangles_are_ignored() {
+        let mut p = pf();
+        p.on_demand_access(line(1), 0);
+        p.on_demand_miss(line(9), 100, 80);
+        p.on_demand_miss(line(9), 200, 80);
+        assert_eq!(p.stats().entangles.get(), 1);
+    }
+}

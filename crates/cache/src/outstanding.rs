@@ -1,0 +1,144 @@
+//! Miss-status holding registers (outstanding-miss tracking).
+
+use std::collections::HashMap;
+
+use swip_types::{Counter, Cycle, LineAddr};
+
+/// Tracks in-flight misses for one cache level.
+///
+/// A request to a line that is already outstanding *merges*: it completes at
+/// the already-scheduled fill time and consumes no new MSHR. Entries are
+/// retired lazily as the clock advances. A bounded MSHR file refuses new
+/// allocations when full, which back-pressures the fetch engine exactly as a
+/// real L1-I MSHR file throttles FDP.
+///
+/// # Examples
+///
+/// ```
+/// use swip_types::Addr;
+/// use swip_cache::Outstanding;
+///
+/// let mut mshrs = Outstanding::new(2);
+/// let line = Addr::new(0x40).line();
+/// assert_eq!(mshrs.lookup(line, 0), None);
+/// assert!(mshrs.allocate(line, 100, 0));
+/// assert_eq!(mshrs.lookup(line, 50), Some(100)); // merged
+/// assert_eq!(mshrs.lookup(line, 101), None);     // retired
+/// ```
+#[derive(Clone, Debug)]
+pub struct Outstanding {
+    inflight: HashMap<LineAddr, Cycle>,
+    capacity: usize,
+    merges: Counter,
+    rejects: Counter,
+}
+
+impl Outstanding {
+    /// Creates an MSHR file with `capacity` entries (`0` = unlimited).
+    pub fn new(capacity: usize) -> Self {
+        Outstanding {
+            inflight: HashMap::new(),
+            capacity,
+            merges: Counter::new(),
+            rejects: Counter::new(),
+        }
+    }
+
+    fn retire(&mut self, now: Cycle) {
+        self.inflight.retain(|_, &mut done| done > now);
+    }
+
+    /// If `line` is still in flight at `now`, returns its completion cycle
+    /// (recording a merge).
+    pub fn lookup(&mut self, line: LineAddr, now: Cycle) -> Option<Cycle> {
+        self.retire(now);
+        let done = self.inflight.get(&line).copied();
+        if done.is_some() {
+            self.merges.incr();
+        }
+        done
+    }
+
+    /// Attempts to allocate an entry completing at `done`. Returns `false`
+    /// (and records a reject) when the file is full at `now`.
+    pub fn allocate(&mut self, line: LineAddr, done: Cycle, now: Cycle) -> bool {
+        self.retire(now);
+        if self.capacity != 0 && self.inflight.len() >= self.capacity {
+            self.rejects.incr();
+            return false;
+        }
+        self.inflight.insert(line, done);
+        true
+    }
+
+    /// True when no further misses can be allocated at `now`.
+    pub fn is_full(&mut self, now: Cycle) -> bool {
+        self.capacity != 0 && self.len(now) >= self.capacity
+    }
+
+    /// Number of in-flight entries at `now`.
+    pub fn len(&mut self, now: Cycle) -> usize {
+        self.retire(now);
+        self.inflight.len()
+    }
+
+    /// True when no misses are in flight at `now`.
+    pub fn is_empty(&mut self, now: Cycle) -> bool {
+        self.len(now) == 0
+    }
+
+    /// Requests that merged with an in-flight line.
+    pub fn merges(&self) -> u64 {
+        self.merges.get()
+    }
+
+    /// Allocation attempts rejected because the file was full.
+    pub fn rejects(&self) -> u64 {
+        self.rejects.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::from_line_number(n)
+    }
+
+    #[test]
+    fn merge_returns_existing_completion() {
+        let mut m = Outstanding::new(4);
+        m.allocate(line(1), 50, 0);
+        assert_eq!(m.lookup(line(1), 10), Some(50));
+        assert_eq!(m.merges(), 1);
+    }
+
+    #[test]
+    fn entries_retire_at_completion() {
+        let mut m = Outstanding::new(4);
+        m.allocate(line(1), 50, 0);
+        assert_eq!(m.lookup(line(1), 50), None); // done == now => retired
+        assert!(m.is_empty(50));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut m = Outstanding::new(2);
+        assert!(m.allocate(line(1), 100, 0));
+        assert!(m.allocate(line(2), 100, 0));
+        assert!(!m.allocate(line(3), 100, 0));
+        assert_eq!(m.rejects(), 1);
+        // After the first two retire there is room again.
+        assert!(m.allocate(line(3), 200, 150));
+    }
+
+    #[test]
+    fn unlimited_capacity() {
+        let mut m = Outstanding::new(0);
+        for n in 0..100 {
+            assert!(m.allocate(line(n), 1000, 0));
+        }
+        assert_eq!(m.len(0), 100);
+    }
+}

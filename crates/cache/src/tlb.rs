@@ -1,0 +1,189 @@
+//! Instruction TLB model.
+
+use swip_types::{Addr, Counter, Cycle, Ratio};
+
+/// Page size (4 KiB) used by the TLB model.
+pub const PAGE_SIZE: u64 = 4096;
+const PAGE_SHIFT: u32 = 12;
+
+/// Configuration of a TLB level.
+#[derive(Clone, Debug)]
+pub struct TlbConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Cycles added by a miss (page-table walk, assumed to hit the caches).
+    pub walk_latency: u64,
+}
+
+impl Default for TlbConfig {
+    /// A Sunny-Cove-like ITLB: 128 entries, 8-way, ~20-cycle walk.
+    fn default() -> Self {
+        TlbConfig {
+            sets: 16,
+            ways: 8,
+            walk_latency: 20,
+        }
+    }
+}
+
+#[derive(Copy, Clone, Debug)]
+struct TlbWay {
+    tag: u64,
+    lru: u64,
+    valid: bool,
+}
+
+/// A set-associative translation lookaside buffer over 4 KiB pages.
+///
+/// The simulator is virtually addressed throughout (trace addresses), so the
+/// TLB only contributes *timing*: a lookup that misses adds the walk latency
+/// to the fetch it serves and installs the page. This mirrors how the
+/// paper's platform charges ITLB misses without modeling page tables.
+///
+/// # Examples
+///
+/// ```
+/// use swip_types::Addr;
+/// use swip_cache::{Tlb, TlbConfig};
+///
+/// let mut tlb = Tlb::new(TlbConfig::default());
+/// assert_eq!(tlb.access(Addr::new(0x5000), 0), 20); // cold miss: walk
+/// assert_eq!(tlb.access(Addr::new(0x5fff), 1), 0);  // same page: hit
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    config: TlbConfig,
+    sets: Vec<Vec<TlbWay>>,
+    tick: u64,
+    stats: TlbStats,
+}
+
+/// TLB statistics.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct TlbStats {
+    /// Lookup hit/miss ratio.
+    pub lookups: Ratio,
+    /// Page walks performed.
+    pub walks: Counter,
+}
+
+impl Tlb {
+    /// Creates a TLB from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(config: TlbConfig) -> Self {
+        assert!(config.sets.is_power_of_two() && config.sets > 0);
+        assert!(config.ways > 0);
+        Tlb {
+            sets: vec![
+                vec![
+                    TlbWay {
+                        tag: 0,
+                        lru: 0,
+                        valid: false
+                    };
+                    config.ways
+                ];
+                config.sets
+            ],
+            config,
+            tick: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.config.ways
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &TlbStats {
+        &self.stats
+    }
+
+    fn index_and_tag(&self, addr: Addr) -> (usize, u64) {
+        let page = addr.raw() >> PAGE_SHIFT;
+        (
+            (page & (self.sets.len() as u64 - 1)) as usize,
+            page >> self.sets.len().trailing_zeros(),
+        )
+    }
+
+    /// Translates the page of `addr`, returning the added latency in cycles
+    /// (0 on a hit, the walk latency on a miss). The page is installed on a
+    /// miss.
+    pub fn access(&mut self, addr: Addr, _now: Cycle) -> u64 {
+        self.tick += 1;
+        let tick = self.tick;
+        let (idx, tag) = self.index_and_tag(addr);
+        let set = &mut self.sets[idx];
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.lru = tick;
+            self.stats.lookups.record(true);
+            return 0;
+        }
+        self.stats.lookups.record(false);
+        self.stats.walks.incr();
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.lru } else { 0 })
+            .expect("tlb set is never empty");
+        *victim = TlbWay {
+            tag,
+            lru: tick,
+            valid: true,
+        };
+        self.config.walk_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        Tlb::new(TlbConfig {
+            sets: 2,
+            ways: 2,
+            walk_latency: 15,
+        })
+    }
+
+    #[test]
+    fn same_page_hits_after_walk() {
+        let mut t = tiny();
+        assert_eq!(t.access(Addr::new(0x1000), 0), 15);
+        assert_eq!(t.access(Addr::new(0x1ffc), 1), 0);
+        assert_eq!(t.stats().walks.get(), 1);
+        assert_eq!(t.stats().lookups.hits(), 1);
+    }
+
+    #[test]
+    fn distinct_pages_walk_independently() {
+        let mut t = tiny();
+        assert_eq!(t.access(Addr::new(0x0000), 0), 15);
+        assert_eq!(t.access(Addr::new(0x1000), 1), 15);
+        assert_eq!(t.access(Addr::new(0x0000), 2), 0);
+    }
+
+    #[test]
+    fn capacity_eviction_is_lru() {
+        let mut t = tiny(); // 2 sets x 2 ways; pages 0,2,4 share set 0
+        t.access(Addr::new(0x0000), 0);
+        t.access(Addr::new(0x2000), 1);
+        t.access(Addr::new(0x0000), 2); // refresh page 0
+        t.access(Addr::new(0x4000), 3); // evicts page 2
+        assert_eq!(t.access(Addr::new(0x0000), 4), 0);
+        assert_eq!(t.access(Addr::new(0x2000), 5), 15);
+    }
+
+    #[test]
+    fn default_capacity_matches_sunny_cove() {
+        assert_eq!(Tlb::new(TlbConfig::default()).capacity(), 128);
+    }
+}

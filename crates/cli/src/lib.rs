@@ -1,0 +1,371 @@
+//! Command parsing and execution for the `swip` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `swip suite [--instructions N]` — list the 48 CVP-1-like workloads;
+//! * `swip gen <workload> --out FILE [--instructions N]` — generate a
+//!   workload trace and write it in the `SWIP` binary format;
+//! * `swip inspect FILE` — print a trace's mix/footprint summary;
+//! * `swip run FILE [--ftq N] [--conservative]` — simulate a trace and
+//!   print the report;
+//! * `swip asmdb FILE --out FILE [--aggressive]` — run the AsmDB pipeline
+//!   and write the rewritten trace.
+//!
+//! The parser is hand-rolled (the workspace's dependency budget is
+//! deliberately small) and returns structured [`Command`]s so it can be
+//! tested without touching the filesystem.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+
+use swip_asmdb::{Asmdb, AsmdbConfig};
+use swip_core::{SimConfig, Simulator};
+use swip_trace::Trace;
+use swip_workloads::{cvp1_suite, generate};
+
+/// A parsed CLI invocation.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Command {
+    /// List the workload suite.
+    Suite {
+        /// Instructions per workload (affects the printed footprints).
+        instructions: u64,
+    },
+    /// Generate a workload trace to a file.
+    Gen {
+        /// Workload name (e.g. `secret_srv12`) or index (0–47).
+        workload: String,
+        /// Output path.
+        out: String,
+        /// Dynamic instruction budget.
+        instructions: u64,
+    },
+    /// Summarize a trace file.
+    Inspect {
+        /// Trace path.
+        file: String,
+    },
+    /// Simulate a trace file.
+    Run {
+        /// Trace path.
+        file: String,
+        /// FTQ depth (defaults to the industry-standard 24).
+        ftq: usize,
+    },
+    /// Run the AsmDB pipeline on a trace file.
+    Asmdb {
+        /// Input trace path.
+        file: String,
+        /// Output (rewritten) trace path.
+        out: String,
+        /// Use the aggressive tuning.
+        aggressive: bool,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// A CLI usage error.
+#[derive(Clone, PartialEq, Debug)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for UsageError {}
+
+/// Usage text for `swip help`.
+pub const USAGE: &str = "\
+swip — the swip-fe front-end characterization toolkit
+
+USAGE:
+  swip suite [--instructions N]
+  swip gen <workload> --out FILE [--instructions N]
+  swip inspect FILE
+  swip run FILE [--ftq N] [--conservative]
+  swip asmdb FILE --out FILE [--aggressive]
+  swip help
+";
+
+fn take_value<'a>(
+    args: &mut impl Iterator<Item = &'a str>,
+    flag: &str,
+) -> Result<&'a str, UsageError> {
+    args.next()
+        .ok_or_else(|| UsageError(format!("{flag} requires a value")))
+}
+
+/// Parses an argument vector (without the program name) into a [`Command`].
+///
+/// # Errors
+///
+/// Returns [`UsageError`] on unknown subcommands, unknown flags, missing
+/// values, or unparsable numbers.
+pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
+    let mut it = args.iter().copied();
+    let Some(sub) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "suite" => {
+            let mut instructions = 300_000u64;
+            while let Some(a) = it.next() {
+                match a {
+                    "--instructions" => {
+                        instructions = parse_num(take_value(&mut it, a)?)?;
+                    }
+                    other => return Err(UsageError(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Suite { instructions })
+        }
+        "gen" => {
+            let workload = it
+                .next()
+                .ok_or_else(|| UsageError("gen requires a workload name or index".into()))?
+                .to_string();
+            let mut out = None;
+            let mut instructions = 300_000u64;
+            while let Some(a) = it.next() {
+                match a {
+                    "--out" => out = Some(take_value(&mut it, a)?.to_string()),
+                    "--instructions" => instructions = parse_num(take_value(&mut it, a)?)?,
+                    other => return Err(UsageError(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Gen {
+                workload,
+                out: out.ok_or_else(|| UsageError("gen requires --out FILE".into()))?,
+                instructions,
+            })
+        }
+        "inspect" => {
+            let file = it
+                .next()
+                .ok_or_else(|| UsageError("inspect requires a trace file".into()))?
+                .to_string();
+            Ok(Command::Inspect { file })
+        }
+        "run" => {
+            let file = it
+                .next()
+                .ok_or_else(|| UsageError("run requires a trace file".into()))?
+                .to_string();
+            let mut ftq = 24usize;
+            while let Some(a) = it.next() {
+                match a {
+                    "--ftq" => ftq = parse_num(take_value(&mut it, a)?)? as usize,
+                    "--conservative" => ftq = 2,
+                    other => return Err(UsageError(format!("unknown flag {other}"))),
+                }
+            }
+            if ftq == 0 {
+                return Err(UsageError("--ftq must be positive".into()));
+            }
+            Ok(Command::Run { file, ftq })
+        }
+        "asmdb" => {
+            let file = it
+                .next()
+                .ok_or_else(|| UsageError("asmdb requires a trace file".into()))?
+                .to_string();
+            let mut out = None;
+            let mut aggressive = false;
+            while let Some(a) = it.next() {
+                match a {
+                    "--out" => out = Some(take_value(&mut it, a)?.to_string()),
+                    "--aggressive" => aggressive = true,
+                    other => return Err(UsageError(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Asmdb {
+                file,
+                out: out.ok_or_else(|| UsageError("asmdb requires --out FILE".into()))?,
+                aggressive,
+            })
+        }
+        other => Err(UsageError(format!("unknown subcommand {other}"))),
+    }
+}
+
+fn parse_num(s: &str) -> Result<u64, UsageError> {
+    s.replace('_', "")
+        .parse()
+        .map_err(|_| UsageError(format!("not a number: {s}")))
+}
+
+/// Executes a parsed command, writing human-readable output to stdout.
+///
+/// # Errors
+///
+/// Returns I/O or decode errors from trace files, and [`UsageError`] for
+/// unknown workload names.
+pub fn execute(cmd: Command) -> Result<(), Box<dyn Error>> {
+    match cmd {
+        Command::Help => print!("{USAGE}"),
+        Command::Suite { instructions } => {
+            let suite = cvp1_suite(instructions);
+            println!("{:<20} {:>10} {:>10} {:>8}", "workload", "functions", "footprint", "family");
+            for s in suite {
+                println!(
+                    "{:<20} {:>10} {:>7} KiB {:>8?}",
+                    s.name,
+                    s.functions,
+                    s.approx_footprint_kib(),
+                    s.family
+                );
+            }
+        }
+        Command::Gen {
+            workload,
+            out,
+            instructions,
+        } => {
+            let suite = cvp1_suite(instructions);
+            let spec = match workload.parse::<usize>() {
+                Ok(i) if i < suite.len() => suite[i].clone(),
+                _ => suite
+                    .into_iter()
+                    .find(|s| s.name == workload)
+                    .ok_or_else(|| UsageError(format!("unknown workload {workload}")))?,
+            };
+            let trace = generate(&spec);
+            trace.write_to(File::create(&out)?)?;
+            println!("wrote {} ({})", out, trace.summary());
+        }
+        Command::Inspect { file } => {
+            let trace = Trace::read_from(File::open(&file)?)?;
+            println!("{}: {}", trace.name(), trace.summary());
+        }
+        Command::Run { file, ftq } => {
+            let trace = Trace::read_from(File::open(&file)?)?;
+            let config = SimConfig::sunny_cove_like().with_ftq_entries(ftq);
+            let report = Simulator::new(config).run(&trace);
+            println!("{report}");
+        }
+        Command::Asmdb {
+            file,
+            out,
+            aggressive,
+        } => {
+            let trace = Trace::read_from(File::open(&file)?)?;
+            let config = if aggressive {
+                AsmdbConfig::aggressive()
+            } else {
+                AsmdbConfig::default()
+            };
+            let result = Asmdb::new(config).run(&trace, &SimConfig::conservative());
+            result.rewritten.write_to(File::create(&out)?)?;
+            println!(
+                "wrote {out}: {} insertions, static bloat {:.2}%, dynamic bloat {:.2}%",
+                result.plan.len(),
+                result.report.static_bloat * 100.0,
+                result.report.dynamic_bloat * 100.0
+            );
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_subcommand() {
+        assert_eq!(parse(&[]), Ok(Command::Help));
+        assert_eq!(parse(&["help"]), Ok(Command::Help));
+        assert_eq!(
+            parse(&["suite", "--instructions", "50_000"]),
+            Ok(Command::Suite {
+                instructions: 50_000
+            })
+        );
+        assert_eq!(
+            parse(&["gen", "secret_srv12", "--out", "x.swip"]),
+            Ok(Command::Gen {
+                workload: "secret_srv12".into(),
+                out: "x.swip".into(),
+                instructions: 300_000
+            })
+        );
+        assert_eq!(
+            parse(&["inspect", "x.swip"]),
+            Ok(Command::Inspect {
+                file: "x.swip".into()
+            })
+        );
+        assert_eq!(
+            parse(&["run", "x.swip", "--ftq", "8"]),
+            Ok(Command::Run {
+                file: "x.swip".into(),
+                ftq: 8
+            })
+        );
+        assert_eq!(
+            parse(&["run", "x.swip", "--conservative"]),
+            Ok(Command::Run {
+                file: "x.swip".into(),
+                ftq: 2
+            })
+        );
+        assert_eq!(
+            parse(&["asmdb", "x.swip", "--out", "y.swip", "--aggressive"]),
+            Ok(Command::Asmdb {
+                file: "x.swip".into(),
+                out: "y.swip".into(),
+                aggressive: true
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["frobnicate"]).is_err());
+        assert!(parse(&["run"]).is_err());
+        assert!(parse(&["run", "x", "--ftq"]).is_err());
+        assert!(parse(&["run", "x", "--ftq", "zero"]).is_err());
+        assert!(parse(&["run", "x", "--ftq", "0"]).is_err());
+        assert!(parse(&["gen", "w"]).is_err());
+        assert!(parse(&["asmdb", "x"]).is_err());
+        assert!(parse(&["suite", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn gen_run_inspect_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("swip_cli_test.swip").display().to_string();
+        execute(Command::Gen {
+            workload: "secret_crypto52".into(),
+            out: path.clone(),
+            instructions: 5_000,
+        })
+        .unwrap();
+        execute(Command::Inspect { file: path.clone() }).unwrap();
+        execute(Command::Run {
+            file: path.clone(),
+            ftq: 4,
+        })
+        .unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unknown_workload_is_a_usage_error() {
+        let err = execute(Command::Gen {
+            workload: "nope".into(),
+            out: "/dev/null".into(),
+            instructions: 1_000,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown workload"));
+    }
+}

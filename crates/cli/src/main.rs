@@ -1,0 +1,22 @@
+//! The `swip` command-line entry point; all logic lives in [`swip_cli`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let cmd = match swip_cli::parse(&arg_refs) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", swip_cli::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match swip_cli::execute(cmd) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

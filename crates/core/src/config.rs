@@ -1,0 +1,126 @@
+//! Whole-simulator configuration (the paper's Table I).
+
+use swip_cache::HierarchyConfig;
+use swip_frontend::FrontendConfig;
+
+use crate::BackendConfig;
+
+/// Full simulator configuration: front-end, memory hierarchy, backend, and
+/// run limits.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Decoupled front-end parameters (FTQ depth selects conservative vs.
+    /// industry-standard FDP).
+    pub frontend: FrontendConfig,
+    /// Memory hierarchy parameters.
+    pub memory: HierarchyConfig,
+    /// Backend parameters.
+    pub backend: BackendConfig,
+    /// Hard cycle limit as a multiple of the trace's instruction count
+    /// (watchdog against pathological configurations); the run is marked
+    /// incomplete if exceeded.
+    pub max_cycles_per_instr: u64,
+    /// Record per-line L1-I miss counts in the report (AsmDB profiling).
+    pub collect_line_profile: bool,
+}
+
+impl SimConfig {
+    /// The paper's Table I configuration: a Sunny-Cove-like core with an
+    /// industry-standard 24-entry-FTQ FDP front-end.
+    pub fn sunny_cove_like() -> Self {
+        SimConfig {
+            frontend: FrontendConfig::industry_standard(),
+            memory: HierarchyConfig::sunny_cove_like(),
+            backend: BackendConfig::default(),
+            max_cycles_per_instr: 200,
+            collect_line_profile: false,
+        }
+    }
+
+    /// Table I with the conservative 2-entry FTQ ("similar to that used in
+    /// AsmDB's original evaluation").
+    pub fn conservative() -> Self {
+        SimConfig {
+            frontend: FrontendConfig::conservative(),
+            ..Self::sunny_cove_like()
+        }
+    }
+
+    /// A down-scaled configuration for unit/integration tests: tiny caches
+    /// and backend so interesting behavior appears within a few thousand
+    /// instructions.
+    pub fn test_scale() -> Self {
+        SimConfig {
+            frontend: FrontendConfig::industry_standard(),
+            memory: HierarchyConfig::tiny(),
+            backend: BackendConfig::tiny(),
+            max_cycles_per_instr: 500,
+            collect_line_profile: false,
+        }
+    }
+
+    /// This configuration with a different FTQ depth (parameter sweeps).
+    #[must_use]
+    pub fn with_ftq_entries(mut self, n: usize) -> Self {
+        self.frontend.ftq_entries = n;
+        self
+    }
+
+    /// Renders the configuration as the paper's Table I rows.
+    pub fn table_rows(&self) -> Vec<(String, String)> {
+        let f = &self.frontend;
+        let m = &self.memory;
+        let b = &self.backend;
+        vec![
+            ("FTQ".into(), format!("{} entries × {} instrs", f.ftq_entries, f.max_block_instrs)),
+            ("Fill/fetch BW".into(), format!("{} blocks, {} lines per cycle", f.fill_blocks_per_cycle, f.fetch_lines_per_cycle)),
+            ("Decode width".into(), format!("{}", f.decode_width)),
+            ("Post-fetch correction".into(), format!("{}", f.enable_pfc)),
+            ("Branch predictor".into(), format!("{:?}, 2^{} entries", f.branch.direction, f.branch.direction_log2_entries)),
+            ("BTB".into(), format!("{} sets × {} ways", f.branch.btb_sets, f.branch.btb_assoc)),
+            ("RAS".into(), format!("{} entries", f.branch.ras_entries)),
+            ("ROB".into(), format!("{} entries", b.rob_size)),
+            ("Issue/retire width".into(), format!("{}/{}", b.issue_width, b.retire_width)),
+            ("L1I".into(), format!("{} KiB, {}-way, {}-cycle, {} MSHRs", m.l1i.capacity_bytes() / 1024, m.l1i.ways, m.l1i.latency, m.l1i.mshrs)),
+            ("L1D".into(), format!("{} KiB, {}-way, {}-cycle", m.l1d.capacity_bytes() / 1024, m.l1d.ways, m.l1d.latency)),
+            ("L2".into(), format!("{} KiB, {}-way, +{} cycles", m.l2.capacity_bytes() / 1024, m.l2.ways, m.l2.latency)),
+            ("LLC".into(), format!("{} KiB, {}-way, +{} cycles", m.llc.capacity_bytes() / 1024, m.llc.ways, m.llc.latency)),
+            ("DRAM".into(), format!("+{} cycles", m.dram_latency)),
+        ]
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::sunny_cove_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(SimConfig::sunny_cove_like().frontend.ftq_entries, 24);
+        assert_eq!(SimConfig::conservative().frontend.ftq_entries, 2);
+        assert_eq!(SimConfig::default().frontend.ftq_entries, 24);
+    }
+
+    #[test]
+    fn table_has_all_structures() {
+        let rows = SimConfig::sunny_cove_like().table_rows();
+        let keys: Vec<&str> = rows.iter().map(|(k, _)| k.as_str()).collect();
+        for required in ["FTQ", "BTB", "RAS", "ROB", "L1I", "LLC", "DRAM"] {
+            assert!(keys.contains(&required), "missing Table I row {required}");
+        }
+    }
+
+    #[test]
+    fn ftq_sweep() {
+        assert_eq!(
+            SimConfig::sunny_cove_like().with_ftq_entries(12).frontend.ftq_entries,
+            12
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Front-end configuration.
+
+use swip_branch::BranchConfig;
+
+/// Configuration of the metadata-preloading extension (the paper's §VI
+/// first proposed direction).
+///
+/// Instead of inserting `prefetch.i` instructions into the binary, the
+/// prefetch metadata ("a portion of the binary") is preloaded into a
+/// dedicated table at the LLC when the application starts. Every L1-I
+/// access consults a small L1-side metadata cache; on an L1-side miss, a
+/// metadata request is sent to the LLC-side table and the entry is
+/// installed after `metadata_latency` cycles, firing its prefetches then.
+#[derive(Clone, Debug)]
+pub struct PreloadConfig {
+    /// Capacity of the L1-side metadata cache, in trigger entries.
+    pub l1_entries: usize,
+    /// Cycles for a metadata request to the LLC-side table.
+    pub metadata_latency: u64,
+}
+
+impl Default for PreloadConfig {
+    fn default() -> Self {
+        PreloadConfig {
+            l1_entries: 256,
+            metadata_latency: 34,
+        }
+    }
+}
+
+/// Configuration of the decoupled front-end.
+#[derive(Clone, Debug)]
+pub struct FrontendConfig {
+    /// FTQ depth in basic-block entries (2 = the paper's conservative
+    /// front-end, 24 = the industry-standard one).
+    pub ftq_entries: usize,
+    /// Maximum instructions per FTQ entry (basic block size; the paper uses
+    /// 8, i.e. one entry can cover "eight 32-bit instructions").
+    pub max_block_instrs: usize,
+    /// Basic blocks the branch-prediction unit can append per cycle.
+    pub fill_blocks_per_cycle: usize,
+    /// Cache-line fetch requests the fetch engine can issue per cycle.
+    pub fetch_lines_per_cycle: usize,
+    /// Instructions promoted to decode per cycle.
+    pub decode_width: usize,
+    /// Enable post-fetch correction: BTB-missed taken branches redirect the
+    /// fill engine at pre-decode instead of waiting for execute.
+    pub enable_pfc: bool,
+    /// Cycles between a redirect trigger (resolve or pre-decode) and fill
+    /// resumption.
+    pub redirect_penalty: u64,
+    /// Branch-prediction complex configuration.
+    pub branch: BranchConfig,
+}
+
+impl FrontendConfig {
+    /// The paper's conservative front-end: 2-entry FTQ (the configuration
+    /// "similar to that used in AsmDB's original evaluation").
+    pub fn conservative() -> Self {
+        FrontendConfig {
+            ftq_entries: 2,
+            ..Self::industry_standard()
+        }
+    }
+
+    /// The paper's industry-standard front-end: 24-entry FTQ
+    /// ("192, 32-bit instructions"), PFC enabled, taken-only history.
+    pub fn industry_standard() -> Self {
+        FrontendConfig {
+            ftq_entries: 24,
+            max_block_instrs: 8,
+            fill_blocks_per_cycle: 2,
+            fetch_lines_per_cycle: 2,
+            decode_width: 6,
+            enable_pfc: true,
+            redirect_penalty: 2,
+            branch: BranchConfig::default(),
+        }
+    }
+
+    /// A copy of this configuration with a different FTQ depth (parameter
+    /// sweeps).
+    #[must_use]
+    pub fn with_ftq_entries(mut self, n: usize) -> Self {
+        self.ftq_entries = n;
+        self
+    }
+
+    /// Validates structural parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any width or depth is zero.
+    pub fn validate(&self) {
+        assert!(self.ftq_entries > 0, "ftq must have at least one entry");
+        assert!(self.max_block_instrs > 0, "blocks must hold instructions");
+        assert!(self.fill_blocks_per_cycle > 0, "fill bandwidth must be nonzero");
+        assert!(self.fetch_lines_per_cycle > 0, "fetch bandwidth must be nonzero");
+        assert!(self.decode_width > 0, "decode width must be nonzero");
+    }
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        Self::industry_standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        assert_eq!(FrontendConfig::conservative().ftq_entries, 2);
+        assert_eq!(FrontendConfig::industry_standard().ftq_entries, 24);
+        assert_eq!(FrontendConfig::industry_standard().max_block_instrs, 8);
+    }
+
+    #[test]
+    fn sweep_helper() {
+        let c = FrontendConfig::industry_standard().with_ftq_entries(12);
+        assert_eq!(c.ftq_entries, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_ftq_rejected() {
+        FrontendConfig::industry_standard().with_ftq_entries(0).validate();
+    }
+}

@@ -1,0 +1,34 @@
+//! Instruction trace representation and I/O for `swip-fe`.
+//!
+//! The paper evaluates on CVP-1 instruction traces replayed through a
+//! trace-based simulator (ChampSim). This crate provides the equivalent
+//! substrate: an in-memory [`Trace`] of [`swip_types::Instruction`]s, a
+//! [`TraceBuilder`] for programmatic construction, a compact binary codec
+//! ([`Trace::write_to`] / [`Trace::read_from`]) for persistence, and
+//! [`TraceSummary`] for footprint/mix analysis.
+//!
+//! # Examples
+//!
+//! ```
+//! use swip_types::Addr;
+//! use swip_trace::TraceBuilder;
+//!
+//! let mut b = TraceBuilder::new("demo");
+//! b.alu();
+//! b.cond_branch(Addr::new(0x40), true);
+//! let trace = b.finish();
+//! assert_eq!(trace.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod codec;
+mod summary;
+mod trace;
+
+pub use builder::TraceBuilder;
+pub use codec::DecodeError;
+pub use summary::TraceSummary;
+pub use trace::Trace;

@@ -1,0 +1,181 @@
+//! The in-memory trace container.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::slice;
+
+use serde::{Deserialize, Serialize};
+use swip_types::Instruction;
+
+use crate::codec;
+use crate::codec::DecodeError;
+use crate::summary::TraceSummary;
+
+/// A named sequence of dynamic instructions.
+///
+/// A `Trace` plays the role of a CVP-1 trace file: a recorded dynamic
+/// instruction stream that the simulator replays. Traces are immutable once
+/// built (use [`crate::TraceBuilder`] or [`Trace::from_instructions`]); the
+/// AsmDB rewriting pipeline produces *new* traces rather than mutating.
+///
+/// # Examples
+///
+/// ```
+/// use swip_types::{Addr, Instruction};
+/// use swip_trace::Trace;
+///
+/// let t = Trace::from_instructions("t", vec![Instruction::alu(Addr::new(0))]);
+/// assert_eq!(t.name(), "t");
+/// assert!(!t.is_empty());
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Trace {
+    name: String,
+    instrs: Vec<Instruction>,
+}
+
+impl Trace {
+    /// Creates a trace from a vector of instructions.
+    pub fn from_instructions(name: impl Into<String>, instrs: Vec<Instruction>) -> Self {
+        Trace {
+            name: name.into(),
+            instrs,
+        }
+    }
+
+    /// The trace's workload name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if the trace contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instructions as a slice.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instrs
+    }
+
+    /// Iterates over the instructions.
+    pub fn iter(&self) -> slice::Iter<'_, Instruction> {
+        self.instrs.iter()
+    }
+
+    /// Consumes the trace, returning the instruction vector.
+    pub fn into_instructions(self) -> Vec<Instruction> {
+        self.instrs
+    }
+
+    /// Computes mix/footprint statistics for this trace.
+    pub fn summary(&self) -> TraceSummary {
+        TraceSummary::of(self)
+    }
+
+    /// Returns a copy truncated to at most `n` instructions.
+    pub fn truncated(&self, n: usize) -> Trace {
+        Trace {
+            name: self.name.clone(),
+            instrs: self.instrs[..self.instrs.len().min(n)].to_vec(),
+        }
+    }
+
+    /// Serializes the trace to a writer in the `SWIP` binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error raised by `w`.
+    pub fn write_to<W: Write>(&self, w: W) -> std::io::Result<()> {
+        codec::encode(self, w)
+    }
+
+    /// Deserializes a trace previously written with [`Trace::write_to`].
+    ///
+    /// Readers can pass `&mut reader` thanks to the blanket `Read` impl for
+    /// mutable references.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on malformed input or I/O failure.
+    pub fn read_from<R: Read>(r: R) -> Result<Trace, DecodeError> {
+        codec::decode(r)
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} instructions)", self.name, self.instrs.len())
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Instruction;
+    type IntoIter = slice::Iter<'a, Instruction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.instrs.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = Instruction;
+    type IntoIter = std::vec::IntoIter<Instruction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.instrs.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swip_types::Addr;
+
+    fn sample() -> Trace {
+        Trace::from_instructions(
+            "sample",
+            vec![
+                Instruction::alu(Addr::new(0x0)),
+                Instruction::load(Addr::new(0x4), Addr::new(0x9000)),
+                Instruction::cond_branch(Addr::new(0x8), Addr::new(0x0), true),
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let t = sample();
+        assert_eq!(t.name(), "sample");
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.instructions()[1].pc, Addr::new(0x4));
+    }
+
+    #[test]
+    fn truncation() {
+        let t = sample();
+        assert_eq!(t.truncated(2).len(), 2);
+        assert_eq!(t.truncated(100).len(), 3);
+        assert_eq!(t.truncated(0).len(), 0);
+    }
+
+    #[test]
+    fn iteration_orders_match() {
+        let t = sample();
+        let by_ref: Vec<_> = (&t).into_iter().cloned().collect();
+        let by_val: Vec<_> = t.clone().into_iter().collect();
+        assert_eq!(by_ref, by_val);
+        assert_eq!(by_ref, t.into_instructions());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(format!("{}", sample()), "sample (3 instructions)");
+    }
+}

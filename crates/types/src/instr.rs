@@ -1,0 +1,363 @@
+//! The dynamic instruction model.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Addr, Reg};
+
+/// Default instruction size in bytes (the paper assumes 32-bit instructions:
+/// "192, 32-bit instructions" for a 24-entry FTQ of 8-instruction blocks).
+pub const DEFAULT_INSTR_SIZE: u8 = 4;
+
+/// The flavor of a control-transfer instruction.
+///
+/// Mirrors the CVP-1 / ChampSim branch taxonomy, which the FDP front-end's
+/// predictors treat differently:
+/// conditional branches consult the direction predictor; returns consult the
+/// RAS; indirect jumps and calls consult the indirect predictor; all taken
+/// branches need a BTB target.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum BranchKind {
+    /// Conditional direct branch (taken or not-taken per execution).
+    CondDirect,
+    /// Unconditional direct jump (always taken).
+    UncondDirect,
+    /// Unconditional indirect jump through a register.
+    IndirectJump,
+    /// Direct call; pushes a return address onto the RAS.
+    DirectCall,
+    /// Indirect call; pushes a return address and needs the indirect predictor.
+    IndirectCall,
+    /// Return; pops the RAS.
+    Return,
+}
+
+impl BranchKind {
+    /// True for calls (direct or indirect), which push the RAS.
+    pub const fn is_call(self) -> bool {
+        matches!(self, BranchKind::DirectCall | BranchKind::IndirectCall)
+    }
+
+    /// True for branches whose target comes from a register, not the
+    /// instruction encoding (indirect jumps/calls and returns).
+    pub const fn is_indirect(self) -> bool {
+        matches!(
+            self,
+            BranchKind::IndirectJump | BranchKind::IndirectCall | BranchKind::Return
+        )
+    }
+
+    /// True for branches that are always taken.
+    pub const fn is_unconditional(self) -> bool {
+        !matches!(self, BranchKind::CondDirect)
+    }
+}
+
+/// The operation class of an instruction, with class-specific payload.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum InstrKind {
+    /// Integer/FP computation; no memory or control-flow side effects.
+    Alu,
+    /// Memory load from `addr`.
+    Load {
+        /// Effective byte address of the access.
+        addr: Addr,
+    },
+    /// Memory store to `addr`.
+    Store {
+        /// Effective byte address of the access.
+        addr: Addr,
+    },
+    /// Control transfer. `taken` records the *trace outcome*; predictors must
+    /// not peek at it when predicting.
+    Branch {
+        /// Which predictor structures this branch exercises.
+        kind: BranchKind,
+        /// Architectural target of the branch when taken.
+        target: Addr,
+        /// Whether this dynamic instance was taken.
+        taken: bool,
+    },
+    /// Software instruction prefetch of the line containing `target`
+    /// (the `prefetch.i` ISA support AsmDB assumes). Occupies a front-end
+    /// slot like any other instruction; a pre-decoder fires the prefetch once
+    /// the instruction itself has been fetched.
+    PrefetchI {
+        /// Code address whose line should be prefetched into the L1-I.
+        target: Addr,
+    },
+}
+
+/// One dynamic instruction as it appears in a trace.
+///
+/// This is a passive, public-field record ([C-STRUCT-PRIVATE]'s "C spirit"
+/// exception): the simulator pipeline reads every field and there are no
+/// invariants beyond construction.
+///
+/// # Examples
+///
+/// ```
+/// use swip_types::{Addr, Instruction, Reg};
+///
+/// let ld = Instruction::load(Addr::new(0x400), Addr::new(0x9000))
+///     .with_dst(Reg::new(1))
+///     .with_srcs(&[Reg::new(2)]);
+/// assert!(ld.is_memory());
+/// assert_eq!(ld.next_pc(), Addr::new(0x404));
+/// ```
+///
+/// [C-STRUCT-PRIVATE]: https://rust-lang.github.io/api-guidelines/future-proofing.html
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Program counter of this instruction.
+    pub pc: Addr,
+    /// Encoded size in bytes (normally [`DEFAULT_INSTR_SIZE`]).
+    pub size: u8,
+    /// Operation class and payload.
+    pub kind: InstrKind,
+    /// Source registers (up to 3, CVP-1 style). `None` slots are unused.
+    pub srcs: [Option<Reg>; 3],
+    /// Destination register, if any.
+    pub dst: Option<Reg>,
+}
+
+impl Instruction {
+    fn with_kind(pc: Addr, kind: InstrKind) -> Self {
+        Instruction {
+            pc,
+            size: DEFAULT_INSTR_SIZE,
+            kind,
+            srcs: [None; 3],
+            dst: None,
+        }
+    }
+
+    /// Creates an ALU instruction at `pc`.
+    pub fn alu(pc: Addr) -> Self {
+        Self::with_kind(pc, InstrKind::Alu)
+    }
+
+    /// Creates a load from `addr` at `pc`.
+    pub fn load(pc: Addr, addr: Addr) -> Self {
+        Self::with_kind(pc, InstrKind::Load { addr })
+    }
+
+    /// Creates a store to `addr` at `pc`.
+    pub fn store(pc: Addr, addr: Addr) -> Self {
+        Self::with_kind(pc, InstrKind::Store { addr })
+    }
+
+    /// Creates a conditional direct branch.
+    pub fn cond_branch(pc: Addr, target: Addr, taken: bool) -> Self {
+        Self::branch(pc, BranchKind::CondDirect, target, taken)
+    }
+
+    /// Creates an unconditional direct jump (always taken).
+    pub fn jump(pc: Addr, target: Addr) -> Self {
+        Self::branch(pc, BranchKind::UncondDirect, target, true)
+    }
+
+    /// Creates a direct call (always taken).
+    pub fn call(pc: Addr, target: Addr) -> Self {
+        Self::branch(pc, BranchKind::DirectCall, target, true)
+    }
+
+    /// Creates an indirect call (always taken).
+    pub fn indirect_call(pc: Addr, target: Addr) -> Self {
+        Self::branch(pc, BranchKind::IndirectCall, target, true)
+    }
+
+    /// Creates an indirect jump (always taken).
+    pub fn indirect_jump(pc: Addr, target: Addr) -> Self {
+        Self::branch(pc, BranchKind::IndirectJump, target, true)
+    }
+
+    /// Creates a return to `target` (always taken).
+    pub fn ret(pc: Addr, target: Addr) -> Self {
+        Self::branch(pc, BranchKind::Return, target, true)
+    }
+
+    /// Creates a branch of arbitrary kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an unconditional kind is created with `taken == false`.
+    pub fn branch(pc: Addr, kind: BranchKind, target: Addr, taken: bool) -> Self {
+        assert!(
+            taken || !kind.is_unconditional(),
+            "unconditional branch at {pc} cannot be not-taken"
+        );
+        Self::with_kind(pc, InstrKind::Branch { kind, target, taken })
+    }
+
+    /// Creates a software instruction prefetch of `target`'s line.
+    pub fn prefetch_i(pc: Addr, target: Addr) -> Self {
+        Self::with_kind(pc, InstrKind::PrefetchI { target })
+    }
+
+    /// Sets the source registers (builder style). Extra entries beyond 3 are
+    /// ignored.
+    #[must_use]
+    pub fn with_srcs(mut self, srcs: &[Reg]) -> Self {
+        for (slot, reg) in self.srcs.iter_mut().zip(srcs.iter()) {
+            *slot = Some(*reg);
+        }
+        self
+    }
+
+    /// Sets the destination register (builder style).
+    #[must_use]
+    pub fn with_dst(mut self, dst: Reg) -> Self {
+        self.dst = Some(dst);
+        self
+    }
+
+    /// Sets a non-default encoded size (builder style).
+    #[must_use]
+    pub fn with_size(mut self, size: u8) -> Self {
+        self.size = size;
+        self
+    }
+
+    /// True if this is any control-transfer instruction.
+    pub const fn is_branch(&self) -> bool {
+        matches!(self.kind, InstrKind::Branch { .. })
+    }
+
+    /// True if this is a load or store.
+    pub const fn is_memory(&self) -> bool {
+        matches!(self.kind, InstrKind::Load { .. } | InstrKind::Store { .. })
+    }
+
+    /// True if this is a software instruction prefetch.
+    pub const fn is_prefetch_i(&self) -> bool {
+        matches!(self.kind, InstrKind::PrefetchI { .. })
+    }
+
+    /// The branch kind, if this is a branch.
+    pub fn branch_kind(&self) -> Option<BranchKind> {
+        match self.kind {
+            InstrKind::Branch { kind, .. } => Some(kind),
+            _ => None,
+        }
+    }
+
+    /// The trace-recorded taken outcome; `false` for non-branches.
+    pub fn is_taken(&self) -> bool {
+        matches!(self.kind, InstrKind::Branch { taken: true, .. })
+    }
+
+    /// The branch target, if this is a branch.
+    pub fn branch_target(&self) -> Option<Addr> {
+        match self.kind {
+            InstrKind::Branch { target, .. } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// The address of the instruction that architecturally follows this one
+    /// in the dynamic stream: the branch target when taken, else the
+    /// fall-through.
+    pub fn next_pc(&self) -> Addr {
+        match self.kind {
+            InstrKind::Branch {
+                target, taken: true, ..
+            } => target,
+            _ => self.fallthrough(),
+        }
+    }
+
+    /// The fall-through address (`pc + size`), regardless of branch outcome.
+    pub fn fallthrough(&self) -> Addr {
+        self.pc.add(self.size as u64)
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            InstrKind::Alu => write!(f, "{}: alu", self.pc),
+            InstrKind::Load { addr } => write!(f, "{}: load [{addr}]", self.pc),
+            InstrKind::Store { addr } => write!(f, "{}: store [{addr}]", self.pc),
+            InstrKind::Branch { kind, target, taken } => {
+                write!(
+                    f,
+                    "{}: {kind:?} -> {target} ({})",
+                    self.pc,
+                    if taken { "T" } else { "NT" }
+                )
+            }
+            InstrKind::PrefetchI { target } => {
+                write!(f, "{}: prefetch.i {target}", self.pc)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_pc_taken_vs_not_taken() {
+        let pc = Addr::new(0x100);
+        let tgt = Addr::new(0x200);
+        assert_eq!(Instruction::cond_branch(pc, tgt, true).next_pc(), tgt);
+        assert_eq!(
+            Instruction::cond_branch(pc, tgt, false).next_pc(),
+            Addr::new(0x104)
+        );
+        assert_eq!(Instruction::alu(pc).next_pc(), Addr::new(0x104));
+    }
+
+    #[test]
+    fn classification_helpers() {
+        let pc = Addr::new(0);
+        assert!(Instruction::ret(pc, Addr::new(8)).is_branch());
+        assert!(Instruction::load(pc, Addr::new(8)).is_memory());
+        assert!(Instruction::prefetch_i(pc, Addr::new(8)).is_prefetch_i());
+        assert!(!Instruction::alu(pc).is_branch());
+        assert_eq!(
+            Instruction::call(pc, Addr::new(8)).branch_kind(),
+            Some(BranchKind::DirectCall)
+        );
+    }
+
+    #[test]
+    fn branch_kind_predicates() {
+        assert!(BranchKind::DirectCall.is_call());
+        assert!(BranchKind::IndirectCall.is_call() && BranchKind::IndirectCall.is_indirect());
+        assert!(BranchKind::Return.is_indirect());
+        assert!(!BranchKind::CondDirect.is_unconditional());
+        assert!(BranchKind::UncondDirect.is_unconditional());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be not-taken")]
+    fn not_taken_jump_panics() {
+        let _ = Instruction::branch(
+            Addr::new(0),
+            BranchKind::UncondDirect,
+            Addr::new(64),
+            false,
+        );
+    }
+
+    #[test]
+    fn builder_sets_registers() {
+        let i = Instruction::alu(Addr::new(0))
+            .with_dst(Reg::new(5))
+            .with_srcs(&[Reg::new(1), Reg::new(2)]);
+        assert_eq!(i.dst, Some(Reg::new(5)));
+        assert_eq!(i.srcs[0], Some(Reg::new(1)));
+        assert_eq!(i.srcs[1], Some(Reg::new(2)));
+        assert_eq!(i.srcs[2], None);
+    }
+
+    #[test]
+    fn custom_size_changes_fallthrough() {
+        let i = Instruction::alu(Addr::new(0x10)).with_size(8);
+        assert_eq!(i.fallthrough(), Addr::new(0x18));
+    }
+}

@@ -1,0 +1,84 @@
+//! Architectural register identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An architectural register identifier.
+///
+/// The simulated ISA exposes [`Reg::COUNT`] integer registers (matching the
+/// CVP-1 trace format's flat register space). Register `0` is *not* special;
+/// dependence tracking treats all registers alike.
+///
+/// # Examples
+///
+/// ```
+/// use swip_types::Reg;
+///
+/// let r = Reg::new(3);
+/// assert_eq!(r.index(), 3);
+/// ```
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of architectural registers in the simulated ISA.
+    pub const COUNT: usize = 64;
+
+    /// Creates a register identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Reg::COUNT`.
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < Self::COUNT,
+            "register index {index} out of range (< {})",
+            Self::COUNT
+        );
+        Reg(index)
+    }
+
+    /// Returns the register index as a `usize` suitable for table lookup.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        for i in 0..Reg::COUNT as u8 {
+            assert_eq!(Reg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = Reg::new(Reg::COUNT as u8);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", Reg::new(7)), "r7");
+    }
+}

@@ -1,0 +1,283 @@
+//! Small statistics utilities shared by the simulator crates.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A saturating event counter.
+///
+/// A thin wrapper over `u64` that makes statistics structs self-describing
+/// and guards against accidental arithmetic on unrelated counters.
+///
+/// # Examples
+///
+/// ```
+/// use swip_types::Counter;
+///
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.0 = self.0.saturating_add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Returns the current count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this count per `per` units of `denom` (e.g. misses per 1000
+    /// instructions). Returns 0.0 when `denom` is zero.
+    pub fn per(self, denom: u64, per: u64) -> f64 {
+        if denom == 0 {
+            0.0
+        } else {
+            self.0 as f64 * per as f64 / denom as f64
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl From<Counter> for u64 {
+    fn from(c: Counter) -> u64 {
+        c.0
+    }
+}
+
+/// A hit/total ratio accumulator (hit rates, coverage, accuracy).
+///
+/// # Examples
+///
+/// ```
+/// use swip_types::Ratio;
+///
+/// let mut r = Ratio::new();
+/// r.record(true);
+/// r.record(false);
+/// assert_eq!(r.rate(), 0.5);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Default, Debug, Serialize, Deserialize)]
+pub struct Ratio {
+    hits: u64,
+    total: u64,
+}
+
+impl Ratio {
+    /// Creates an empty ratio.
+    pub const fn new() -> Self {
+        Ratio { hits: 0, total: 0 }
+    }
+
+    /// Records one event; `hit` selects the numerator.
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Numerator.
+    pub const fn hits(self) -> u64 {
+        self.hits
+    }
+
+    /// Denominator.
+    pub const fn total(self) -> u64 {
+        self.total
+    }
+
+    /// Misses (`total - hits`).
+    pub const fn misses(self) -> u64 {
+        self.total - self.hits
+    }
+
+    /// Hit fraction in `[0, 1]`; 0.0 when no events were recorded.
+    pub fn rate(self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} ({:.2}%)", self.hits, self.total, self.rate() * 100.0)
+    }
+}
+
+/// An online arithmetic mean over `u64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use swip_types::RunningMean;
+///
+/// let mut m = RunningMean::new();
+/// m.push(10);
+/// m.push(20);
+/// assert_eq!(m.mean(), 15.0);
+/// assert_eq!(m.count(), 2);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Default, Debug, Serialize, Deserialize)]
+pub struct RunningMean {
+    sum: u64,
+    count: u64,
+    max: u64,
+}
+
+impl RunningMean {
+    /// Creates an empty mean.
+    pub const fn new() -> Self {
+        RunningMean {
+            sum: 0,
+            count: 0,
+            max: 0,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, sample: u64) {
+        self.sum = self.sum.saturating_add(sample);
+        self.count += 1;
+        self.max = self.max.max(sample);
+    }
+
+    /// The arithmetic mean; 0.0 when empty.
+    pub fn mean(self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Number of samples.
+    pub const fn count(self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples.
+    pub const fn sum(self) -> u64 {
+        self.sum
+    }
+
+    /// Maximum sample seen; 0 when empty.
+    pub const fn max(self) -> u64 {
+        self.max
+    }
+}
+
+/// Geometric mean of a slice of positive values.
+///
+/// Values `<= 0` are skipped (a speedup of zero would otherwise collapse the
+/// mean); returns 0.0 for an empty (or all-skipped) input.
+///
+/// # Examples
+///
+/// ```
+/// use swip_types::geomean;
+///
+/// let g = geomean(&[1.0, 4.0]);
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean(values: &[f64]) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for &v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.per(1000, 1000), 10.0);
+        assert_eq!(c.per(0, 1000), 0.0);
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter::new();
+        c.add(u64::MAX);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn ratio_rates() {
+        let mut r = Ratio::new();
+        assert_eq!(r.rate(), 0.0);
+        for i in 0..10 {
+            r.record(i % 2 == 0);
+        }
+        assert_eq!(r.hits(), 5);
+        assert_eq!(r.misses(), 5);
+        assert_eq!(r.total(), 10);
+        assert_eq!(r.rate(), 0.5);
+    }
+
+    #[test]
+    fn running_mean_tracks_max() {
+        let mut m = RunningMean::new();
+        assert_eq!(m.mean(), 0.0);
+        m.push(2);
+        m.push(4);
+        m.push(12);
+        assert_eq!(m.mean(), 6.0);
+        assert_eq!(m.max(), 12);
+        assert_eq!(m.sum(), 18);
+    }
+
+    #[test]
+    fn geomean_ignores_nonpositive() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert_eq!(geomean(&[0.0, -1.0]), 0.0);
+        let g = geomean(&[2.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+        let with_zero = geomean(&[2.0, 8.0, 0.0]);
+        assert!((with_zero - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,44 @@
+//! Synthetic CVP-1-like workload generation for `swip-fe`.
+//!
+//! The paper evaluates on a 48-trace subset of the First Value Prediction
+//! Championship (CVP-1) traces — proprietary server, integer, and crypto
+//! workloads with instruction working sets large enough to stress the L1-I
+//! (2–28 MPKI). Those traces are not redistributable, so this crate builds
+//! the closest synthetic equivalent: each workload is a randomly generated
+//! *program* (functions laid out at irregular addresses, basic blocks,
+//! biased conditional branches, loops, direct/indirect calls and returns)
+//! that is then *executed* by a deterministic interpreter to produce a
+//! dynamic [`swip_trace::Trace`].
+//!
+//! What makes the substitution behavior-preserving (see DESIGN.md §4):
+//!
+//! * instruction footprints span tens of KiB to MiB — the same L1-I-thrashing
+//!   regime as the paper's traces;
+//! * control flow is *statistically stable*: per-branch biases and per-site
+//!   call patterns recur, so a profile of run 1 predicts run 2 (the property
+//!   AsmDB relies on);
+//! * the same seed always yields the same trace, so AsmDB's
+//!   profile-and-rewrite loop operates on exactly the program it profiled.
+//!
+//! # Examples
+//!
+//! ```
+//! use swip_workloads::{cvp1_suite, generate};
+//!
+//! let specs = cvp1_suite(10_000);
+//! assert_eq!(specs.len(), 48);
+//! let trace = generate(&specs[0]);
+//! assert_eq!(trace.name(), specs[0].name);
+//! assert!(trace.len() >= 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generator;
+mod program;
+mod spec;
+
+pub use generator::generate;
+pub use program::{Block, Function, Program, Terminator};
+pub use spec::{cvp1_suite, Family, WorkloadSpec};

@@ -1,0 +1,262 @@
+//! Workload specifications: the 48-trace CVP-1-like suite.
+
+use serde::{Deserialize, Serialize};
+
+/// Workload family, mirroring the CVP-1 categories in the paper's Figure 1.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Family {
+    /// Server workloads (`*_srv*`): very large instruction footprints, deep
+    /// call stacks, indirect dispatch — the front-end-bound regime.
+    Server,
+    /// Integer workloads (`*_int_*`): moderate footprints, loopier control
+    /// flow.
+    Integer,
+    /// Crypto workloads (`*_crypto*`): small hot kernels with high reuse and
+    /// low L1-I pressure.
+    Crypto,
+}
+
+/// Parameters from which a synthetic workload's program and trace are
+/// generated.
+///
+/// All structure is derived deterministically from `seed`, so a spec fully
+/// identifies its trace.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Workload name (the paper's Figure 1 trace names).
+    pub name: String,
+    /// Workload family.
+    pub family: Family,
+    /// RNG seed for both program structure and execution.
+    pub seed: u64,
+    /// Number of functions in the program.
+    pub functions: usize,
+    /// Mean basic blocks per function.
+    pub avg_blocks: usize,
+    /// Mean instructions per basic block.
+    pub avg_block_instrs: usize,
+    /// Maximum call depth during execution.
+    pub max_call_depth: usize,
+    /// Probability that a block's conditional skip is strongly biased
+    /// (predictable); the rest are weakly biased (hard to predict).
+    pub predictable_branch_fraction: f64,
+    /// Fraction of call sites using indirect dispatch.
+    pub indirect_call_fraction: f64,
+    /// Fraction of block instructions that are loads.
+    pub load_fraction: f64,
+    /// Fraction of block instructions that are stores.
+    pub store_fraction: f64,
+    /// Dispatch-concentration exponent: roots are sampled as
+    /// `hot_roots[n * u^hot_exponent]`. Lower values flatten the dispatch
+    /// distribution and raise the live instruction footprint.
+    pub hot_exponent: f64,
+    /// Fraction of non-final blocks ending in a loop back-edge. Server code
+    /// is call/branch-heavy; crypto kernels are loop-heavy.
+    pub loop_fraction: f64,
+    /// Probability a dispatch stays on the current root (request
+    /// clustering). The complement mostly follows a fixed successor chain
+    /// (predictable, but cold in the L1-I), occasionally jumping randomly.
+    pub root_persistence: f64,
+    /// Dynamic instructions to emit (the trace may end slightly past this
+    /// once the current function unwinds).
+    pub instructions: u64,
+}
+
+impl WorkloadSpec {
+    /// Approximate static footprint in KiB implied by the structure
+    /// parameters (functions × blocks × instructions × 4 B).
+    pub fn approx_footprint_kib(&self) -> usize {
+        self.functions * self.avg_blocks * self.avg_block_instrs * 4 / 1024
+    }
+}
+
+/// The names of the paper's 48 CVP-1 traces (Figure 1, left to right).
+pub const CVP1_NAMES: [&str; 48] = [
+    "public_srv_60",
+    "secret_crypto52",
+    "secret_crypto80",
+    "secret_crypto90",
+    "secret_int_124",
+    "secret_int_155",
+    "secret_int_290",
+    "secret_int_327",
+    "secret_int_44",
+    "secret_int_624",
+    "secret_int_678",
+    "secret_int_706",
+    "secret_int_83",
+    "secret_int_86",
+    "secret_int_948",
+    "secret_int_965",
+    "secret_srv12",
+    "secret_srv128",
+    "secret_srv194",
+    "secret_srv207",
+    "secret_srv21",
+    "secret_srv222",
+    "secret_srv225",
+    "secret_srv255",
+    "secret_srv259",
+    "secret_srv32",
+    "secret_srv408",
+    "secret_srv41",
+    "secret_srv426",
+    "secret_srv442",
+    "secret_srv48",
+    "secret_srv495",
+    "secret_srv504",
+    "secret_srv537",
+    "secret_srv540",
+    "secret_srv582",
+    "secret_srv61",
+    "secret_srv617",
+    "secret_srv641",
+    "secret_srv669",
+    "secret_srv702",
+    "secret_srv727",
+    "secret_srv73",
+    "secret_srv742",
+    "secret_srv757",
+    "secret_srv764",
+    "secret_srv771",
+    "secret_srv85",
+];
+
+fn family_of(name: &str) -> Family {
+    if name.contains("crypto") {
+        Family::Crypto
+    } else if name.contains("int") {
+        Family::Integer
+    } else {
+        Family::Server
+    }
+}
+
+/// Splitmix64, used to derive stable per-workload parameters from the name
+/// index without coupling them to the structural RNG.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Builds the 48-workload suite, each emitting ~`instructions` dynamic
+/// instructions. The paper simulates 100 M instructions per trace; pass a
+/// smaller budget for laptop-scale runs — steady state is reached quickly.
+pub fn cvp1_suite(instructions: u64) -> Vec<WorkloadSpec> {
+    CVP1_NAMES
+        .iter()
+        .enumerate()
+        .map(|(i, name)| spec_for(i, name, instructions))
+        .collect()
+}
+
+fn spec_for(index: usize, name: &str, instructions: u64) -> WorkloadSpec {
+    let family = family_of(name);
+    let h = mix(index as u64 + 1);
+    // Parameter ranges per family, jittered per workload so the suite spans
+    // the paper's 2–28 MPKI band.
+    let pick = |lo: usize, hi: usize, salt: u64| -> usize {
+        lo + (mix(h ^ salt) % (hi - lo + 1) as u64) as usize
+    };
+    let pick_f = |lo: f64, hi: f64, salt: u64| -> f64 {
+        lo + (mix(h ^ salt) % 1000) as f64 / 1000.0 * (hi - lo)
+    };
+    let (functions, avg_blocks, predictable) = match family {
+        Family::Server => (pick(900, 2000, 11), pick(7, 12, 13), pick_f(0.96, 0.99, 17)),
+        Family::Integer => (pick(250, 650, 11), pick(8, 14, 13), pick_f(0.94, 0.98, 17)),
+        Family::Crypto => (pick(24, 64, 11), pick(10, 20, 13), pick_f(0.97, 0.995, 17)),
+    };
+    WorkloadSpec {
+        name: name.to_string(),
+        family,
+        seed: 0xc0ffee ^ (index as u64) << 8,
+        functions,
+        avg_blocks,
+        avg_block_instrs: pick(4, 9, 19),
+        max_call_depth: match family {
+            Family::Server => pick(6, 10, 23),
+            Family::Integer => pick(3, 6, 23),
+            Family::Crypto => pick(2, 4, 23),
+        },
+        predictable_branch_fraction: predictable,
+        indirect_call_fraction: match family {
+            Family::Server => pick_f(0.10, 0.25, 29),
+            Family::Integer => pick_f(0.02, 0.10, 29),
+            Family::Crypto => pick_f(0.0, 0.04, 29),
+        },
+        load_fraction: pick_f(0.20, 0.30, 31),
+        store_fraction: pick_f(0.08, 0.15, 37),
+        hot_exponent: match family {
+            Family::Server => pick_f(1.0, 1.25, 41),
+            Family::Integer => pick_f(1.2, 1.8, 41),
+            Family::Crypto => pick_f(2.2, 3.0, 41),
+        },
+        loop_fraction: match family {
+            Family::Server => pick_f(0.03, 0.08, 43),
+            Family::Integer => pick_f(0.10, 0.18, 43),
+            Family::Crypto => pick_f(0.22, 0.35, 43),
+        },
+        root_persistence: match family {
+            Family::Server => pick_f(0.35, 0.60, 47),
+            Family::Integer => pick_f(0.55, 0.80, 47),
+            Family::Crypto => pick_f(0.85, 0.95, 47),
+        },
+        instructions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_48_unique_names() {
+        let suite = cvp1_suite(1000);
+        assert_eq!(suite.len(), 48);
+        let mut names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 48);
+    }
+
+    #[test]
+    fn families_assigned_by_name() {
+        let suite = cvp1_suite(1000);
+        assert_eq!(suite[1].family, Family::Crypto);
+        assert_eq!(suite[4].family, Family::Integer);
+        assert_eq!(suite[16].family, Family::Server);
+        assert_eq!(
+            suite.iter().filter(|s| s.family == Family::Crypto).count(),
+            3
+        );
+        assert_eq!(
+            suite.iter().filter(|s| s.family == Family::Integer).count(),
+            12
+        );
+        assert_eq!(
+            suite.iter().filter(|s| s.family == Family::Server).count(),
+            33
+        );
+    }
+
+    #[test]
+    fn server_footprints_exceed_l1i() {
+        for s in cvp1_suite(1000) {
+            if s.family == Family::Server {
+                assert!(
+                    s.approx_footprint_kib() > 64,
+                    "{} footprint only {} KiB",
+                    s.name,
+                    s.approx_footprint_kib()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        assert_eq!(cvp1_suite(5000), cvp1_suite(5000));
+    }
+}

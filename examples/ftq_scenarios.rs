@@ -1,0 +1,47 @@
+//! The paper's Section III taxonomy, live: classify every front-end cycle
+//! of a CVP-1-like workload into Scenario 1 (shoot through), Scenario 2
+//! (stalling head), and Scenario 3 (shadow stalls), at both FTQ depths.
+//!
+//! ```sh
+//! cargo run -p swip-core --example ftq_scenarios --release
+//! ```
+
+use swip_core::{SimConfig, Simulator};
+use swip_workloads::{cvp1_suite, generate};
+
+fn main() {
+    let spec = &cvp1_suite(150_000)[16]; // secret_srv12
+    let trace = generate(spec);
+    println!(
+        "workload {} — {:.0} KiB instruction footprint, {} instructions\n",
+        spec.name,
+        trace.summary().footprint_kib(),
+        trace.len()
+    );
+
+    for (label, config) in [
+        ("conservative (FTQ=2)", SimConfig::conservative()),
+        ("industry-standard (FTQ=24)", SimConfig::sunny_cove_like()),
+    ] {
+        let r = Simulator::new(config).run(&trace);
+        let (s1, s2, s3, empty) = r.frontend.scenario_fractions();
+        println!("=== {label} ===");
+        println!("  IPC {:.3}, L1-I MPKI {:.1}", r.effective_ipc, r.l1i_mpki);
+        println!("  Scenario 1 (shoot through):  {:5.1}% of cycles", s1 * 100.0);
+        println!("  Scenario 2 (stalling head):  {:5.1}% of cycles", s2 * 100.0);
+        println!("  Scenario 3 (shadow stalls):  {:5.1}% of cycles", s3 * 100.0);
+        println!("  FTQ empty:                   {:5.1}% of cycles", empty * 100.0);
+        println!(
+            "  head stalls {} cycles; {} entries waited on a stalling head; \
+             {} entries reached the head mid-fetch",
+            r.frontend.head_stall_cycles,
+            r.frontend.entries_waiting_on_head,
+            r.frontend.partially_covered_entries
+        );
+        println!(
+            "  fetch latency: head {:.1} cycles vs non-head {:.1} cycles (Fig 8 shape)\n",
+            r.frontend.head_fetch_cycles.mean(),
+            r.frontend.nonhead_fetch_cycles.mean()
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Quickstart: build a small instruction trace by hand, run it through the
+//! conservative (2-entry FTQ) and industry-standard (24-entry FTQ) FDP
+//! front-ends, and compare.
+//!
+//! ```sh
+//! cargo run -p swip-core --example quickstart --release
+//! ```
+
+use swip_core::{SimConfig, Simulator};
+use swip_trace::TraceBuilder;
+use swip_types::Addr;
+
+fn main() {
+    // A toy server-ish workload: a dispatcher loop that walks eight "handler"
+    // functions laid out far apart, so their lines fight over the L1-I.
+    let mut b = TraceBuilder::new("quickstart");
+    let handler = |k: u64| Addr::new(0x10_000 + k * 0x2a8);
+    for _ in 0..2_000 {
+        for k in 0..8u64 {
+            b.set_pc(Addr::new(0x1000 + k * 8));
+            b.call(handler(k));
+            for _ in 0..14 {
+                b.alu();
+            }
+            b.ret(Addr::new(0x1000 + k * 8 + 4));
+            b.jump(Addr::new(0x1000 + ((k + 1) % 8) * 8));
+        }
+    }
+    let trace = b.finish();
+    println!("trace: {}", trace.summary());
+
+    let conservative = Simulator::new(SimConfig::conservative()).run(&trace);
+    let industry = Simulator::new(SimConfig::sunny_cove_like()).run(&trace);
+
+    println!("\n--- conservative front-end (2-entry FTQ) ---\n{conservative}");
+    println!("\n--- industry-standard FDP (24-entry FTQ) ---\n{industry}");
+    println!(
+        "\nFDP speedup over conservative: {:.3}x",
+        industry.speedup_over(&conservative)
+    );
+}

@@ -1,0 +1,2 @@
+//! Cross-crate integration tests for `swip-fe` live in `tests/`; this
+//! library target is intentionally empty.

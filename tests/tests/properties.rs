@@ -1,0 +1,162 @@
+//! Property-based tests over the core data structures and cross-crate
+//! invariants (see DESIGN.md §6).
+
+use proptest::prelude::*;
+use swip_asmdb::{plan_insertions, select_targets, rewrite_trace, Cfg};
+use swip_branch::Ras;
+use swip_cache::{Cache, CacheConfig, ReplacementKind};
+use swip_trace::Trace;
+use swip_types::{Addr, BranchKind, Instruction, LineAddr, Reg};
+use swip_workloads::{cvp1_suite, generate};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..Reg::COUNT as u8).prop_map(Reg::new)
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    let pc = (0u64..1 << 20).prop_map(|x| Addr::new(x * 4));
+    let target = (0u64..1 << 20).prop_map(|x| Addr::new(x * 4));
+    (pc, target, 0usize..8, any::<bool>(), arb_reg(), arb_reg()).prop_map(
+        |(pc, target, kind, taken, r1, r2)| match kind {
+            0 => Instruction::alu(pc).with_dst(r1).with_srcs(&[r2]),
+            1 => Instruction::load(pc, target).with_dst(r1),
+            2 => Instruction::store(pc, target).with_srcs(&[r1, r2]),
+            3 => Instruction::cond_branch(pc, target, taken),
+            4 => Instruction::jump(pc, target),
+            5 => Instruction::call(pc, target),
+            6 => Instruction::ret(pc, target),
+            _ => Instruction::prefetch_i(pc, target),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Trace codec: encode → decode is the identity.
+    #[test]
+    fn codec_round_trips(instrs in proptest::collection::vec(arb_instruction(), 0..200),
+                         name in "[a-z0-9_]{0,24}") {
+        let t = Trace::from_instructions(name, instrs);
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let back = Trace::read_from(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    /// Cache: an LRU cache agrees with a reference model (ordered list per
+    /// set) on every hit/miss outcome.
+    #[test]
+    fn lru_cache_matches_reference_model(ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..300)) {
+        let sets = 4usize;
+        let ways = 2usize;
+        let mut cache = Cache::new(CacheConfig {
+            name: "m".into(),
+            sets,
+            ways,
+            latency: 1,
+            mshrs: 0,
+            replacement: ReplacementKind::Lru,
+        });
+        // Reference: per-set most-recent-first vectors.
+        let mut model: Vec<Vec<u64>> = vec![Vec::new(); sets];
+        for (line_no, is_fill) in ops {
+            let line = LineAddr::from_line_number(line_no);
+            let set = (line_no % sets as u64) as usize;
+            if is_fill {
+                cache.fill(line, false);
+                if let Some(pos) = model[set].iter().position(|&l| l == line_no) {
+                    model[set].remove(pos);
+                } else if model[set].len() == ways {
+                    model[set].pop();
+                }
+                model[set].insert(0, line_no);
+            } else {
+                let hit = cache.access(line, false);
+                let model_hit = model[set].contains(&line_no);
+                prop_assert_eq!(hit, model_hit, "line {} in set {}", line_no, set);
+                if let Some(pos) = model[set].iter().position(|&l| l == line_no) {
+                    let l = model[set].remove(pos);
+                    model[set].insert(0, l);
+                }
+            }
+        }
+    }
+
+    /// RAS: below capacity it is exactly a stack.
+    #[test]
+    fn ras_is_a_stack_under_capacity(pushes in proptest::collection::vec(0u64..1 << 30, 1..32)) {
+        let mut ras = Ras::new(64);
+        let mut model = Vec::new();
+        for p in &pushes {
+            ras.push(Addr::new(*p));
+            model.push(Addr::new(*p));
+        }
+        while let Some(expected) = model.pop() {
+            prop_assert_eq!(ras.pop(), Some(expected));
+        }
+        prop_assert_eq!(ras.pop(), None);
+    }
+
+    /// Workload generator: any seed yields a continuous, call-balanced
+    /// dynamic stream with stable instruction kinds per PC.
+    #[test]
+    fn generated_traces_are_well_formed(idx in 0usize..48, seed_salt in 0u64..4) {
+        let mut spec = cvp1_suite(4_000).remove(idx);
+        spec.seed ^= seed_salt << 32;
+        let trace = generate(&spec);
+        prop_assert!(trace.len() >= 4_000);
+        let mut stack: Vec<Addr> = Vec::new();
+        for w in trace.instructions().windows(2) {
+            prop_assert_eq!(w[0].next_pc(), w[1].pc);
+        }
+        for i in trace.iter() {
+            match i.branch_kind() {
+                Some(BranchKind::DirectCall | BranchKind::IndirectCall) => {
+                    stack.push(i.pc.add(4));
+                }
+                Some(BranchKind::Return) => {
+                    let expected = stack.pop();
+                    prop_assert_eq!(Some(i.branch_target().unwrap()), expected);
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(stack.is_empty());
+    }
+
+    /// AsmDB rewriting: for any fanout/distance tuning, the rewritten trace
+    /// is continuous, monotone in address shift, and strips back to the
+    /// original instruction sequence.
+    #[test]
+    fn rewrite_invariants_hold(min_reach in 0.05f64..0.9, min_distance in 4u64..40) {
+        let spec = cvp1_suite(4_000).remove(16);
+        let trace = generate(&spec);
+        let cfg = Cfg::from_trace(&trace);
+        // Fabricate a miss profile: every executed line missed once per use.
+        let mut misses = std::collections::HashMap::new();
+        for i in trace.iter() {
+            *misses.entry(i.pc.line().number()).or_insert(0u64) += 1;
+        }
+        let targets = select_targets(&cfg, &misses, 4, 0.5, 64);
+        let plan = plan_insertions(&cfg, &targets, min_distance, min_distance * 6, min_reach, 2);
+        let (rewritten, report) = rewrite_trace(&trace, &plan);
+
+        // Continuity.
+        for w in rewritten.instructions().windows(2) {
+            prop_assert_eq!(w[0].next_pc(), w[1].pc);
+        }
+        // Monotone shift: the i-th non-prefetch instruction's pc never
+        // decreases relative to the original.
+        let originals: Vec<_> = trace.iter().collect();
+        let kept: Vec<_> = rewritten.iter().filter(|i| !i.is_prefetch_i()).collect();
+        prop_assert_eq!(kept.len(), originals.len());
+        for (o, k) in originals.iter().zip(&kept) {
+            prop_assert!(k.pc >= o.pc);
+            prop_assert_eq!(std::mem::discriminant(&k.kind), std::mem::discriminant(&o.kind));
+        }
+        // Accounting.
+        prop_assert_eq!(report.inserted_dynamic as usize, rewritten.len() - trace.len());
+        prop_assert!(report.dynamic_bloat >= 0.0);
+    }
+}
