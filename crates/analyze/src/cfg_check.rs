@@ -1,0 +1,369 @@
+//! Family C: CFG well-formedness — the reconstructed graph must agree with
+//! the trace it came from.
+//!
+//! [`swip_asmdb::Cfg::from_trace`] is believed to uphold all of these by
+//! construction; the rules re-prove it from first principles so corruption
+//! anywhere between reconstruction and planning (or a future alternative
+//! CFG source) is caught before it poisons insertion planning.
+
+use std::collections::HashMap;
+
+use swip_asmdb::Cfg;
+use swip_trace::Trace;
+use swip_types::Instruction;
+
+use crate::diag::{Diagnostic, Location, Severity};
+
+/// Checks `cfg` against the trace it was reconstructed from (rules
+/// C001–C007).
+pub fn check_cfg(trace: &Trace, cfg: &Cfg) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // Static instruction view (first execution wins, as in reconstruction).
+    let mut static_instrs: HashMap<u64, Instruction> = HashMap::new();
+    for i in trace.iter() {
+        static_instrs.entry(i.pc.raw()).or_insert(*i);
+    }
+
+    // C006: every executed PC must be covered by a block.
+    let mut missing_reported = std::collections::HashSet::new();
+    for i in trace.iter() {
+        if cfg.block_of(i.pc).is_none() && missing_reported.insert(i.pc.raw()) {
+            diags.push(Diagnostic::new(
+                "C006",
+                Severity::Error,
+                Location::Pc(i.pc.raw()),
+                format!("executed pc {} is not covered by any CFG block", i.pc),
+            ));
+        }
+    }
+
+    for (id, block) in cfg.blocks() {
+        let loc = Location::Block(id as u64);
+
+        // C005: internal block structure.
+        if block.is_empty() {
+            diags.push(Diagnostic::new(
+                "C005",
+                Severity::Error,
+                loc,
+                "block has no instructions",
+            ));
+            continue;
+        }
+        if block.start != block.pcs[0] {
+            diags.push(Diagnostic::new(
+                "C005",
+                Severity::Error,
+                loc,
+                format!(
+                    "block start {} disagrees with its first instruction {}",
+                    block.start, block.pcs[0]
+                ),
+            ));
+        }
+        for w in block.pcs.windows(2) {
+            match static_instrs.get(&w[0].raw()) {
+                Some(i) if i.is_branch() => {
+                    diags.push(Diagnostic::new(
+                        "C005",
+                        Severity::Error,
+                        loc,
+                        format!("branch at {} in the middle of a block", w[0]),
+                    ));
+                }
+                Some(i) if w[0].add(i.size as u64) != w[1] => {
+                    diags.push(Diagnostic::new(
+                        "C005",
+                        Severity::Error,
+                        loc,
+                        format!("block is not contiguous between {} and {}", w[0], w[1]),
+                    ));
+                }
+                _ => {}
+            }
+        }
+
+        // C001: every edge endpoint must name a known block.
+        for &(succ, _) in &block.succs {
+            if succ >= cfg.len() {
+                diags.push(Diagnostic::new(
+                    "C001",
+                    Severity::Error,
+                    loc,
+                    format!("successor edge to unknown block {succ}"),
+                ));
+            }
+        }
+        for &(pred, _) in &block.preds {
+            if pred >= cfg.len() {
+                diags.push(Diagnostic::new(
+                    "C001",
+                    Severity::Error,
+                    loc,
+                    format!("predecessor edge to unknown block {pred}"),
+                ));
+            }
+        }
+
+        // C002: each successor must start at an address the block's final
+        // instruction can actually transfer to.
+        if let Some(last) = static_instrs.get(&block.last_pc().raw()) {
+            for &(succ, _) in &block.succs {
+                if succ >= cfg.len() {
+                    continue; // already C001
+                }
+                let succ_start = cfg.block(succ).start;
+                // Indirect transfers (incl. returns) reach different targets
+                // on different executions; the static view keeps only the
+                // first, so any successor is plausible for them.
+                let indirect = last.branch_kind().is_some_and(|k| k.is_indirect());
+                let ok = if indirect {
+                    true
+                } else if last.is_branch() {
+                    Some(succ_start) == last.branch_target() || succ_start == last.fallthrough()
+                } else {
+                    succ_start == last.fallthrough()
+                };
+                if !ok {
+                    diags.push(Diagnostic::new(
+                        "C002",
+                        Severity::Error,
+                        loc,
+                        format!(
+                            "edge to block {succ} starting at {}, unreachable from the {} at {}",
+                            succ_start,
+                            if last.is_branch() {
+                                "branch"
+                            } else {
+                                "non-branch"
+                            },
+                            last.pc
+                        ),
+                    ));
+                }
+            }
+            // ends_with_branch must mirror the final instruction.
+            if block.ends_with_branch != last.is_branch() {
+                diags.push(Diagnostic::new(
+                    "C002",
+                    Severity::Error,
+                    loc,
+                    format!(
+                        "ends_with_branch={} disagrees with final instruction at {}",
+                        block.ends_with_branch, last.pc
+                    ),
+                ));
+            }
+        }
+
+        // C007: a block cannot leave more often than it executes.
+        let out: u64 = block.succs.iter().map(|&(_, c)| c).sum();
+        if out > block.exec_count {
+            diags.push(Diagnostic::new(
+                "C007",
+                Severity::Warn,
+                loc,
+                format!(
+                    "outgoing edge weight {out} exceeds execution count {}",
+                    block.exec_count
+                ),
+            ));
+        }
+    }
+
+    // C003: succs and preds must mirror each other with equal weights.
+    for (id, block) in cfg.blocks() {
+        for &(succ, w) in &block.succs {
+            if succ >= cfg.len() {
+                continue;
+            }
+            let mirrored = cfg
+                .block(succ)
+                .preds
+                .iter()
+                .any(|&(p, pw)| p == id && pw == w);
+            if !mirrored {
+                diags.push(Diagnostic::new(
+                    "C003",
+                    Severity::Error,
+                    Location::Block(id as u64),
+                    format!("edge {id}→{succ} (weight {w}) has no mirrored predecessor entry"),
+                ));
+            }
+        }
+    }
+
+    // C004: blocks unreachable from the entry block along edges.
+    if let Some(first) = trace.instructions().first() {
+        if let Some(entry) = cfg.block_of(first.pc) {
+            let mut seen = vec![false; cfg.len()];
+            let mut stack = vec![entry];
+            seen[entry] = true;
+            while let Some(b) = stack.pop() {
+                for &(s, _) in &cfg.block(b).succs {
+                    if s < cfg.len() && !seen[s] {
+                        seen[s] = true;
+                        stack.push(s);
+                    }
+                }
+            }
+            for (id, reached) in seen.iter().enumerate() {
+                if !reached {
+                    diags.push(Diagnostic::new(
+                        "C004",
+                        Severity::Warn,
+                        Location::Block(id as u64),
+                        format!(
+                            "block at {} is unreachable from the entry block",
+                            cfg.block(id).start
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swip_trace::TraceBuilder;
+    use swip_types::Addr;
+
+    fn diamond() -> Trace {
+        let mut b = TraceBuilder::new("diamond");
+        for taken in [true, false] {
+            b.set_pc(Addr::new(0x0));
+            b.alu();
+            b.cond_branch(Addr::new(0x20), taken);
+            if !taken {
+                b.alu();
+                b.jump(Addr::new(0x20));
+            }
+            b.alu();
+            b.jump(Addr::new(0x0));
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn reconstructed_cfg_is_well_formed() {
+        let t = diamond();
+        let cfg = Cfg::from_trace(&t);
+        let diags = check_cfg(&t, &cfg);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    fn rules(trace: &Trace, cfg: &Cfg) -> Vec<&'static str> {
+        check_cfg(trace, cfg).iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn edge_to_unknown_block_is_c001() {
+        let t = diamond();
+        let cfg = Cfg::from_trace(&t);
+        let mut blocks: Vec<_> = cfg.blocks().map(|(_, b)| b.clone()).collect();
+        blocks[0].succs.push((99, 1));
+        let bad = Cfg::from_parts(blocks);
+        assert!(rules(&t, &bad).contains(&"C001"));
+    }
+
+    #[test]
+    fn impossible_edge_target_is_c002() {
+        let t = diamond();
+        let cfg = Cfg::from_trace(&t);
+        let mut blocks: Vec<_> = cfg.blocks().map(|(_, b)| b.clone()).collect();
+        // Rewire block 0's first edge to a block its branch cannot reach.
+        let self_id = 0;
+        blocks[self_id].succs[0].0 = self_id; // entry block never targets itself
+        let w = blocks[self_id].succs[0].1;
+        blocks[self_id].preds.push((self_id, w)); // keep C003 quiet
+        blocks[self_id].succs[0] = (self_id, w);
+        let bad = Cfg::from_parts(blocks);
+        assert!(rules(&t, &bad).contains(&"C002"));
+    }
+
+    #[test]
+    fn missing_mirror_edge_is_c003() {
+        let t = diamond();
+        let cfg = Cfg::from_trace(&t);
+        let mut blocks: Vec<_> = cfg.blocks().map(|(_, b)| b.clone()).collect();
+        // Drop one predecessor entry.
+        let victim = blocks
+            .iter()
+            .position(|b| !b.preds.is_empty())
+            .expect("some block has preds");
+        blocks[victim].preds.pop();
+        let bad = Cfg::from_parts(blocks);
+        assert!(rules(&t, &bad).contains(&"C003"));
+    }
+
+    #[test]
+    fn unreachable_block_is_c004() {
+        let t = diamond();
+        let cfg = Cfg::from_trace(&t);
+        let mut blocks: Vec<_> = cfg.blocks().map(|(_, b)| b.clone()).collect();
+        // Orphan a non-entry block by deleting every edge touching it.
+        let orphan = blocks.len() - 1;
+        for b in &mut blocks {
+            b.succs.retain(|&(s, _)| s != orphan);
+            b.preds.retain(|&(p, _)| p != orphan);
+        }
+        blocks[orphan].succs.clear();
+        blocks[orphan].preds.clear();
+        let bad = Cfg::from_parts(blocks);
+        assert!(rules(&t, &bad).contains(&"C004"));
+    }
+
+    #[test]
+    fn non_contiguous_block_is_c005() {
+        let t = diamond();
+        let cfg = Cfg::from_trace(&t);
+        let mut blocks: Vec<_> = cfg.blocks().map(|(_, b)| b.clone()).collect();
+        // Merge two blocks' pcs into one (leaving a mid-block branch or gap).
+        let extra = blocks[1].pcs.clone();
+        blocks[0].pcs.extend(extra);
+        let bad = Cfg::from_parts(blocks);
+        assert!(rules(&t, &bad).contains(&"C005"));
+    }
+
+    #[test]
+    fn uncovered_pc_is_c006() {
+        let t = diamond();
+        let cfg = Cfg::from_trace(&t);
+        let mut blocks: Vec<_> = cfg.blocks().map(|(_, b)| b.clone()).collect();
+        blocks.pop(); // drop the last block entirely
+                      // Also drop edges to the removed id to isolate the rule under test.
+        let gone = blocks.len();
+        for b in &mut blocks {
+            b.succs.retain(|&(s, _)| s != gone);
+            b.preds.retain(|&(p, _)| p != gone);
+        }
+        let bad = Cfg::from_parts(blocks);
+        assert!(rules(&t, &bad).contains(&"C006"));
+    }
+
+    #[test]
+    fn inflated_edge_weight_is_c007() {
+        let t = diamond();
+        let cfg = Cfg::from_trace(&t);
+        let mut blocks: Vec<_> = cfg.blocks().map(|(_, b)| b.clone()).collect();
+        let victim = blocks
+            .iter()
+            .position(|b| !b.succs.is_empty())
+            .expect("some block has succs");
+        blocks[victim].succs[0].1 += 1000;
+        let (to, w) = blocks[victim].succs[0];
+        // Mirror the inflation so only C007 fires.
+        for p in &mut blocks[to].preds {
+            if p.0 == victim {
+                p.1 = w;
+            }
+        }
+        let bad = Cfg::from_parts(blocks);
+        assert!(rules(&t, &bad).contains(&"C007"));
+    }
+}

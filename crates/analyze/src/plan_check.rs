@@ -1,0 +1,414 @@
+//! Family P: insertion-plan verification.
+//!
+//! A [`swip_asmdb::Plan`] makes claims — anchors exist, distances are
+//! achievable, reach is a probability — that the rewriter and the simulator
+//! then rely on. These rules re-prove each claim against the CFG, including
+//! a redundancy argument via dominators: a prefetch whose target line is
+//! touched by every path to its anchor warms nothing.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use swip_asmdb::{BlockId, Cfg, Plan};
+
+use crate::diag::{Diagnostic, Location, Severity};
+
+/// Verifies `plan` against `cfg` (rules P001–P006). `entry` is the CFG's
+/// entry block (the block containing the first executed instruction), used
+/// for the dominator analysis; passing `None` skips P006.
+pub fn verify_plan(cfg: &Cfg, entry: Option<BlockId>, plan: &Plan) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let idom = entry.map(|e| idoms(cfg, e));
+
+    // Forward shortest distances are computed once per distinct target.
+    let mut dist_cache: HashMap<u64, Option<Vec<Option<u64>>>> = HashMap::new();
+
+    let mut seen_pairs: HashSet<(u64, u64)> = HashSet::new();
+
+    for (idx, ins) in plan.insertions.iter().enumerate() {
+        let loc = Location::Insertion(idx as u64);
+        let target_line = ins.target_pc.line().number();
+
+        // P004: (anchor, target line) pairs must be unique.
+        if !seen_pairs.insert((ins.anchor.raw(), target_line)) {
+            diags.push(Diagnostic::new(
+                "P004",
+                Severity::Error,
+                loc,
+                format!(
+                    "duplicate insertion: anchor {} already prefetches line {target_line:#x}",
+                    ins.anchor
+                ),
+            ));
+        }
+
+        // P005: reach is a probability.
+        if !(0.0..=1.0).contains(&ins.reach) || ins.reach.is_nan() {
+            diags.push(Diagnostic::new(
+                "P005",
+                Severity::Error,
+                loc,
+                format!("reach {} is not a probability in [0, 1]", ins.reach),
+            ));
+        }
+
+        // P001: the anchor must exist and be an insertion point (the final
+        // instruction of its block — prefetches attach to block ends).
+        let Some(anchor_block) = cfg.block_of(ins.anchor) else {
+            diags.push(Diagnostic::new(
+                "P001",
+                Severity::Error,
+                loc,
+                format!("anchor {} was never executed (not in the CFG)", ins.anchor),
+            ));
+            continue;
+        };
+        if cfg.block(anchor_block).last_pc() != ins.anchor {
+            diags.push(Diagnostic::new(
+                "P001",
+                Severity::Error,
+                loc,
+                format!(
+                    "anchor {} is not the final instruction of block {anchor_block}",
+                    ins.anchor
+                ),
+            ));
+        }
+
+        // P002/P003: the target must be forward-reachable from the anchor,
+        // and the recorded distance must be achievable on some path.
+        let dists = dist_cache
+            .entry(ins.target_pc.raw())
+            .or_insert_with(|| target_entry_distances(cfg, ins.target_pc));
+        match dists {
+            None => {
+                diags.push(Diagnostic::new(
+                    "P002",
+                    Severity::Error,
+                    loc,
+                    format!(
+                        "target {} was never executed (not in the CFG)",
+                        ins.target_pc
+                    ),
+                ));
+            }
+            Some(dist) => {
+                // Achievable distances from this anchor are the entry
+                // distances of the anchor block's successors.
+                let min_d = cfg
+                    .block(anchor_block)
+                    .succs
+                    .iter()
+                    .filter(|&&(s, _)| s < cfg.len())
+                    .filter_map(|&(s, _)| dist[s])
+                    .min();
+                match min_d {
+                    None => diags.push(Diagnostic::new(
+                        "P002",
+                        Severity::Error,
+                        loc,
+                        format!(
+                            "no path from anchor {} to target {} in the CFG",
+                            ins.anchor, ins.target_pc
+                        ),
+                    )),
+                    Some(min_d) if ins.distance < min_d => diags.push(Diagnostic::new(
+                        "P003",
+                        Severity::Warn,
+                        loc,
+                        format!(
+                            "recorded distance {} is below the minimum achievable {min_d}; \
+                             the prefetch fires later than planned",
+                            ins.distance
+                        ),
+                    )),
+                    Some(_) => {}
+                }
+            }
+        }
+
+        // P006: if a block containing the target line dominates the anchor,
+        // the line was already fetched on every path (it may have been
+        // evicted since, hence a warning rather than an error).
+        if let Some(idom) = &idom {
+            let mut cur = Some(anchor_block);
+            while let Some(b) = cur {
+                let touches = cfg
+                    .block(b)
+                    .pcs
+                    .iter()
+                    .any(|pc| pc.line().number() == target_line);
+                if touches {
+                    diags.push(Diagnostic::new(
+                        "P006",
+                        Severity::Warn,
+                        loc,
+                        format!(
+                            "redundant prefetch: block {b} already touches line \
+                             {target_line:#x} on every path to anchor {}",
+                            ins.anchor
+                        ),
+                    ));
+                    break;
+                }
+                cur = idom[b].filter(|&d| d != b);
+            }
+        }
+    }
+    diags
+}
+
+/// Shortest forward distance (in instructions) from each block's *entry* to
+/// `target_pc`, or `None` if the target is not in the CFG. Distances are
+/// `None` for blocks with no path to the target.
+///
+/// Mirrors the planner's metric: entering block `B` at distance `d` means
+/// execution reaches the target `d` instructions later; predecessors sit a
+/// full block-length further out.
+fn target_entry_distances(cfg: &Cfg, target_pc: swip_types::Addr) -> Option<Vec<Option<u64>>> {
+    let target_block = cfg.block_of(target_pc)?;
+    let offset = cfg
+        .block(target_block)
+        .pcs
+        .iter()
+        .position(|&pc| pc == target_pc)? as u64;
+
+    let mut dist: Vec<Option<u64>> = vec![None; cfg.len()];
+    let mut heap: BinaryHeap<Reverse<(u64, BlockId)>> = BinaryHeap::new();
+    dist[target_block] = Some(offset);
+    heap.push(Reverse((offset, target_block)));
+    while let Some(Reverse((d, b))) = heap.pop() {
+        if dist[b] != Some(d) {
+            continue;
+        }
+        for &(pred, _) in &cfg.block(b).preds {
+            if pred >= cfg.len() {
+                continue;
+            }
+            let nd = d + cfg.block(pred).len() as u64;
+            if dist[pred].is_none_or(|old| nd < old) {
+                dist[pred] = Some(nd);
+                heap.push(Reverse((nd, pred)));
+            }
+        }
+    }
+    Some(dist)
+}
+
+/// Immediate dominators over the subgraph reachable from `entry`
+/// (Cooper–Harvey–Kennedy). `idom[entry] == Some(entry)`; unreachable
+/// blocks get `None`.
+fn idoms(cfg: &Cfg, entry: BlockId) -> Vec<Option<BlockId>> {
+    // Reverse postorder over reachable blocks.
+    let n = cfg.len();
+    let mut order: Vec<BlockId> = Vec::with_capacity(n);
+    let mut state = vec![0u8; n]; // 0 = unseen, 1 = open, 2 = done
+    let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+    state[entry] = 1;
+    while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+        let succs = &cfg.block(b).succs;
+        let mut advanced = false;
+        while *next < succs.len() {
+            let (s, _) = succs[*next];
+            *next += 1;
+            if s < n && state[s] == 0 {
+                state[s] = 1;
+                stack.push((s, 0));
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced && matches!(stack.last(), Some(&(bb, nn)) if bb == b && nn >= succs.len()) {
+            stack.pop();
+            state[b] = 2;
+            order.push(b);
+        }
+    }
+    order.reverse(); // now reverse postorder, entry first
+
+    let mut rpo_index = vec![usize::MAX; n];
+    for (i, &b) in order.iter().enumerate() {
+        rpo_index[b] = i;
+    }
+
+    let mut idom: Vec<Option<BlockId>> = vec![None; n];
+    idom[entry] = Some(entry);
+    let intersect = |idom: &[Option<BlockId>], rpo: &[usize], mut a: BlockId, mut b: BlockId| {
+        while a != b {
+            while rpo[a] > rpo[b] {
+                a = idom[a].expect("processed block has an idom");
+            }
+            while rpo[b] > rpo[a] {
+                b = idom[b].expect("processed block has an idom");
+            }
+        }
+        a
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in order.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &(p, _) in &cfg.block(b).preds {
+                if p >= n || idom[p].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                });
+            }
+            if new_idom.is_some() && idom[b] != new_idom {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swip_asmdb::Insertion;
+    use swip_trace::TraceBuilder;
+    use swip_types::Addr;
+
+    /// A(0x0, 8 instrs) → B(0x100, 8) → C(0x200, 8) → back to A, looped.
+    fn chain() -> (swip_trace::Trace, Cfg) {
+        let mut b = TraceBuilder::new("chain");
+        for _ in 0..4 {
+            b.set_pc(Addr::new(0x0));
+            for _ in 0..7 {
+                b.alu();
+            }
+            b.jump(Addr::new(0x100));
+            for _ in 0..7 {
+                b.alu();
+            }
+            b.jump(Addr::new(0x200));
+            for _ in 0..7 {
+                b.alu();
+            }
+            b.jump(Addr::new(0x0));
+        }
+        let t = b.finish();
+        let cfg = Cfg::from_trace(&t);
+        (t, cfg)
+    }
+
+    fn entry(cfg: &Cfg) -> Option<BlockId> {
+        cfg.block_of(Addr::new(0x0))
+    }
+
+    fn ins(anchor: u64, target: u64, distance: u64, reach: f64) -> Insertion {
+        Insertion {
+            anchor: Addr::new(anchor),
+            before: true,
+            target_pc: Addr::new(target),
+            distance,
+            reach,
+        }
+    }
+
+    fn plan_of(insertions: Vec<Insertion>) -> Plan {
+        Plan {
+            targeted_lines: insertions.len(),
+            insertions,
+            uncovered_lines: 0,
+        }
+    }
+
+    fn rules(cfg: &Cfg, plan: &Plan) -> Vec<&'static str> {
+        verify_plan(cfg, entry(cfg), plan)
+            .iter()
+            .map(|d| d.rule)
+            .collect()
+    }
+
+    #[test]
+    fn honest_insertion_is_clean() {
+        let (_, cfg) = chain();
+        // Anchor = A's jump (0x1c), target = C (0x200): 8 instructions away
+        // (all of B), minimum achievable 8.
+        let plan = plan_of(vec![ins(0x1c, 0x200, 8, 0.9)]);
+        let diags = verify_plan(&cfg, entry(&cfg), &plan);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unknown_anchor_is_p001() {
+        let (_, cfg) = chain();
+        assert_eq!(
+            rules(&cfg, &plan_of(vec![ins(0x9999, 0x200, 8, 0.9)])),
+            ["P001"]
+        );
+    }
+
+    #[test]
+    fn mid_block_anchor_is_p001() {
+        let (_, cfg) = chain();
+        // 0x4 exists but is not the final instruction of its block.
+        let r = rules(&cfg, &plan_of(vec![ins(0x4, 0x200, 8, 0.9)]));
+        assert!(r.contains(&"P001"), "{r:?}");
+    }
+
+    #[test]
+    fn unreachable_target_is_p002() {
+        let (t, cfg) = chain();
+        // Orphan C: cut every edge into it so no forward path exists.
+        let mut blocks: Vec<_> = cfg.blocks().map(|(_, b)| b.clone()).collect();
+        let c = cfg.block_of(Addr::new(0x200)).unwrap();
+        for b in &mut blocks {
+            b.succs.retain(|&(s, _)| s != c);
+        }
+        blocks[c].preds.clear();
+        let cut = Cfg::from_parts(blocks);
+        let _ = t;
+        let r = rules(&cut, &plan_of(vec![ins(0x1c, 0x200, 8, 0.9)]));
+        assert!(r.contains(&"P002"), "{r:?}");
+    }
+
+    #[test]
+    fn never_executed_target_is_p002() {
+        let (_, cfg) = chain();
+        let r = rules(&cfg, &plan_of(vec![ins(0x1c, 0x4000, 8, 0.9)]));
+        assert!(r.contains(&"P002"), "{r:?}");
+    }
+
+    #[test]
+    fn impossible_distance_is_p003() {
+        let (_, cfg) = chain();
+        // Claimed distance 3, but the target is at least 8 instructions out.
+        let r = rules(&cfg, &plan_of(vec![ins(0x1c, 0x200, 3, 0.9)]));
+        assert_eq!(r, ["P003"]);
+    }
+
+    #[test]
+    fn duplicate_pair_is_p004() {
+        let (_, cfg) = chain();
+        let r = rules(
+            &cfg,
+            &plan_of(vec![ins(0x1c, 0x200, 8, 0.9), ins(0x1c, 0x200, 40, 0.5)]),
+        );
+        assert!(r.contains(&"P004"), "{r:?}");
+    }
+
+    #[test]
+    fn reach_out_of_range_is_p005() {
+        let (_, cfg) = chain();
+        let r = rules(&cfg, &plan_of(vec![ins(0x1c, 0x200, 8, 1.5)]));
+        assert_eq!(r, ["P005"]);
+        let r = rules(&cfg, &plan_of(vec![ins(0x1c, 0x200, 8, f64::NAN)]));
+        assert_eq!(r, ["P005"]);
+    }
+
+    #[test]
+    fn dominated_target_line_is_p006() {
+        let (_, cfg) = chain();
+        // B (0x100) dominates C's jump anchor (0x21c); prefetching B's line
+        // from C is redundant — every path to C already fetched B.
+        let r = rules(&cfg, &plan_of(vec![ins(0x21c, 0x100, 8, 0.9)]));
+        assert!(r.contains(&"P006"), "{r:?}");
+    }
+}

@@ -112,8 +112,8 @@ impl Cfg {
         let mut pc_to_block: HashMap<u64, BlockId> = HashMap::new();
         let mut current: Vec<Addr> = Vec::new();
         let flush = |current: &mut Vec<Addr>,
-                         blocks: &mut Vec<CfgBlock>,
-                         pc_to_block: &mut HashMap<u64, BlockId>| {
+                     blocks: &mut Vec<CfgBlock>,
+                     pc_to_block: &mut HashMap<u64, BlockId>| {
             if current.is_empty() {
                 return;
             }
@@ -172,6 +172,26 @@ impl Cfg {
             b.preds.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
         }
         cfg
+    }
+
+    /// Rebuilds a CFG from raw blocks; the pc → block index is derived from
+    /// each block's `pcs`.
+    ///
+    /// This is the construction surface for tools that need to fabricate or
+    /// perturb a graph directly — `swip-analyze`'s well-formedness rules are
+    /// exercised against graphs built this way. [`Cfg::from_trace`] remains
+    /// the only production path and the well-formedness baseline.
+    pub fn from_parts(blocks: Vec<CfgBlock>) -> Cfg {
+        let mut pc_to_block = HashMap::new();
+        for (id, b) in blocks.iter().enumerate() {
+            for pc in &b.pcs {
+                pc_to_block.insert(pc.raw(), id);
+            }
+        }
+        Cfg {
+            blocks,
+            pc_to_block,
+        }
     }
 
     /// Number of blocks.

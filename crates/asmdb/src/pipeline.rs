@@ -275,7 +275,10 @@ mod tests {
         let trace = b.finish();
         let asmdb = Asmdb::new(AsmdbConfig::default());
         let out = asmdb.run(&trace, &SimConfig::test_scale());
-        assert!(out.plan.is_empty(), "a one-line loop has no misses to cover");
+        assert!(
+            out.plan.is_empty(),
+            "a one-line loop has no misses to cover"
+        );
         assert_eq!(out.report.inserted_dynamic, 0);
         assert_eq!(
             out.rewritten.instructions().len(),
@@ -308,11 +311,8 @@ mod tests {
             ..AsmdbConfig::default()
         });
         let out = asmdb.run(&trace, &SimConfig::test_scale());
-        let code_pcs: std::collections::HashSet<u64> = out
-            .rewritten
-            .iter()
-            .map(|i| i.pc.line().number())
-            .collect();
+        let code_pcs: std::collections::HashSet<u64> =
+            out.rewritten.iter().map(|i| i.pc.line().number()).collect();
         for i in out.rewritten.iter() {
             if let InstrKind::PrefetchI { target } = i.kind {
                 assert!(

@@ -91,7 +91,11 @@ mod tests {
     #[test]
     fn hints_group_by_anchor() {
         let plan = Plan {
-            insertions: vec![insertion(0x10, 0x1000), insertion(0x10, 0x2000), insertion(0x20, 0x3000)],
+            insertions: vec![
+                insertion(0x10, 0x1000),
+                insertion(0x10, 0x2000),
+                insertion(0x20, 0x3000),
+            ],
             targeted_lines: 3,
             uncovered_lines: 0,
         };

@@ -167,7 +167,10 @@ pub fn rewrite_trace(trace: &Trace, plan: &Plan) -> (Trace, RewriteReport) {
                            inserted: &mut u64| {
         let addrs = shift.slot_addrs(key, targets.len() as u64, before);
         for (slot_pc, target) in addrs.zip(targets) {
-            out.push(Instruction::prefetch_i(slot_pc, shift.remap_target(*target)));
+            out.push(Instruction::prefetch_i(
+                slot_pc,
+                shift.remap_target(*target),
+            ));
             *inserted += 1;
         }
     };
@@ -176,7 +179,13 @@ pub fn rewrite_trace(trace: &Trace, plan: &Plan) -> (Trace, RewriteReport) {
         unique_pcs.insert(instr.pc.raw());
         let anchor_info = per_anchor.get(&instr.pc.raw());
         if let Some((true, targets)) = anchor_info {
-            emit_prefetches(instr.pc.raw(), true, targets, &mut out, &mut inserted_dynamic);
+            emit_prefetches(
+                instr.pc.raw(),
+                true,
+                targets,
+                &mut out,
+                &mut inserted_dynamic,
+            );
         }
         out.push(remap_instr(instr, &shift));
         if let Some((false, targets)) = anchor_info {
@@ -219,7 +228,11 @@ fn remap_instr(instr: &Instruction, shift: &ShiftMap) -> Instruction {
     let mut out = *instr;
     out.pc = shift.remap_pc(instr.pc);
     out.kind = match instr.kind {
-        InstrKind::Branch { kind, target, taken } => InstrKind::Branch {
+        InstrKind::Branch {
+            kind,
+            target,
+            taken,
+        } => InstrKind::Branch {
             kind,
             target: shift.remap_target(target),
             taken,
@@ -293,7 +306,12 @@ mod tests {
         continuity_holds(&rw);
         // Per dynamic iteration: alu(0x0) alu(0x4) PF(0x8) jump(0xc) ...
         let instrs = rw.instructions();
-        assert_eq!(instrs[2].kind, InstrKind::PrefetchI { target: Addr::new(0x104) });
+        assert_eq!(
+            instrs[2].kind,
+            InstrKind::PrefetchI {
+                target: Addr::new(0x104)
+            }
+        );
         assert_eq!(instrs[2].pc, Addr::new(0x8));
         assert_eq!(instrs[3].pc, Addr::new(0xc)); // the shifted jump
         assert_eq!(instrs[3].branch_target(), Some(Addr::new(0x104)));

@@ -45,15 +45,15 @@ fn bench_branch(c: &mut Criterion) {
                 Addr::new(0x1000 + i * 8),
                 BranchKind::CondDirect,
                 Addr::new(0x9000),
-                i % 3 == 0,
+                i.is_multiple_of(3),
                 false,
             );
         });
     });
     g.bench_function("ghr_fold", |b| {
         let mut h = GlobalHistory::new();
-        for i in 0..200 {
-            h.push(i % 3 == 0);
+        for i in 0u64..200 {
+            h.push(i.is_multiple_of(3));
         }
         b.iter(|| std::hint::black_box(h.fold(128, 14)));
     });

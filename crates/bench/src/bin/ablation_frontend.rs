@@ -30,7 +30,10 @@ fn main() {
         let mut tage = SimConfig::sunny_cove_like();
         tage.frontend.branch.direction = DirectionKind::TageLite;
         let mut cells = vec![spec.name.clone()];
-        for (i, cfg) in [standard, no_pfc, full, gshare, tage].into_iter().enumerate() {
+        for (i, cfg) in [standard, no_pfc, full, gshare, tage]
+            .into_iter()
+            .enumerate()
+        {
             let s = Simulator::new(cfg).run(&trace).speedup_over(&base);
             series[i].1.push(s);
             cells.push(format!("{s:.4}"));

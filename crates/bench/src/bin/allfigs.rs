@@ -110,7 +110,8 @@ fn main() {
     }
 
     // Figures 9, 10, 11: same six-column layout over different counters.
-    let counter_figs: [(&str, fn(&SimReport) -> u64); 3] = [
+    type CounterFn = fn(&SimReport) -> u64;
+    let counter_figs: [(&str, CounterFn); 3] = [
         ("fig9", |r| r.frontend.head_stall_cycles.get()),
         ("fig10", |r| r.frontend.entries_waiting_on_head.get()),
         ("fig11", |r| r.frontend.partially_covered_entries.get()),

@@ -45,10 +45,7 @@ fn main() {
             series[i].push(s);
             cells.push(format!("{s:.4}"));
         }
-        cells.push(format!(
-            "{}",
-            runs[3].frontend.swpf_preloaded.get()
-        ));
+        cells.push(format!("{}", runs[3].frontend.swpf_preloaded.get()));
         let row = cells.join("\t");
         eprintln!("{row}");
         rows.push(row);

@@ -66,7 +66,10 @@ impl Btb {
     ///
     /// Panics if `sets` is not a power of two or either argument is zero.
     pub fn new(sets: usize, assoc: usize) -> Self {
-        assert!(sets.is_power_of_two() && sets > 0, "sets must be a power of two");
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "sets must be a power of two"
+        );
         assert!(assoc > 0, "associativity must be nonzero");
         Btb {
             sets: vec![vec![Way::INVALID; assoc]; sets],
@@ -83,8 +86,8 @@ impl Btb {
 
     fn index_and_tag(&self, pc: Addr) -> (usize, u64) {
         let x = pc.raw() >> 2; // 4-byte aligned instructions
-        // Hash high bits into the index (as real BTBs do) so regularly
-        // strided code layouts do not collapse onto a few sets.
+                               // Hash high bits into the index (as real BTBs do) so regularly
+                               // strided code layouts do not collapse onto a few sets.
         let mixed = x ^ (x >> self.set_bits) ^ (x >> (2 * self.set_bits));
         let idx = (mixed & ((1u64 << self.set_bits) - 1)) as usize;
         let tag = x; // full tag; hashing the index forbids dropping bits

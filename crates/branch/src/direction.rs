@@ -38,7 +38,10 @@ pub enum DirectionKind {
 }
 
 /// Creates a boxed predictor of the requested kind.
-pub(crate) fn make_predictor(kind: DirectionKind, log2_entries: u32) -> Box<dyn DirectionPredictor + Send> {
+pub(crate) fn make_predictor(
+    kind: DirectionKind,
+    log2_entries: u32,
+) -> Box<dyn DirectionPredictor + Send> {
     match kind {
         DirectionKind::Bimodal => Box::new(Bimodal::new(log2_entries)),
         DirectionKind::Gshare => Box::new(Gshare::new(log2_entries)),
@@ -280,7 +283,10 @@ mod tests {
             h.push(expected);
             expected = !expected;
         }
-        assert!(correct >= 30, "gshare only got {correct}/32 on T/NT pattern");
+        assert!(
+            correct >= 30,
+            "gshare only got {correct}/32 on T/NT pattern"
+        );
     }
 
     #[test]
@@ -296,17 +302,18 @@ mod tests {
             h.push(t);
         }
         let mut correct = 0;
-        let mut i = 0usize;
-        for _ in 0..64 {
+        for i in 0..64 {
             let expected = pattern[i % 4];
             if p.predict(pc, &h) == expected {
                 correct += 1;
             }
             p.update(pc, &h, expected);
             h.push(expected);
-            i += 1;
         }
-        assert!(correct >= 56, "perceptron got {correct}/64 on periodic pattern");
+        assert!(
+            correct >= 56,
+            "perceptron got {correct}/64 on periodic pattern"
+        );
     }
 
     #[test]

@@ -41,6 +41,6 @@ pub use btb::{Btb, BtbEntry};
 pub use direction::{Bimodal, DirectionKind, DirectionPredictor, Gshare, HashedPerceptron};
 pub use ghr::GlobalHistory;
 pub use indirect::IndirectPredictor;
-pub use tage::TageLite;
 pub use ras::Ras;
+pub use tage::TageLite;
 pub use unit::{BranchConfig, BranchStats, BranchUnit, Checkpoint, HistoryMode, Prediction};

@@ -247,7 +247,11 @@ impl BranchUnit {
     /// the invariant the taken-only-history improvement is designed to give
     /// real hardware.
     pub fn commit_spec(&mut self, pc: Addr, kind: BranchKind, target: Addr, taken: bool) {
-        let outcome = Prediction { kind, taken, target };
+        let outcome = Prediction {
+            kind,
+            taken,
+            target,
+        };
         push_history(self.config.history_mode, &mut self.spec_ghr, pc, &outcome);
         if taken {
             if kind.is_call() {
@@ -303,7 +307,11 @@ impl BranchUnit {
         }
 
         // Architectural history.
-        let resolved = Prediction { kind, taken, target };
+        let resolved = Prediction {
+            kind,
+            taken,
+            target,
+        };
         push_history(self.config.history_mode, &mut self.arch_ghr, pc, &resolved);
     }
 
@@ -372,9 +380,21 @@ mod tests {
     #[test]
     fn resolve_trains_btb_for_taken_branches_only() {
         let mut u = unit();
-        u.resolve(Addr::new(0x10), BranchKind::CondDirect, Addr::new(0x100), false, false);
+        u.resolve(
+            Addr::new(0x10),
+            BranchKind::CondDirect,
+            Addr::new(0x100),
+            false,
+            false,
+        );
         assert!(u.predict_at(Addr::new(0x10)).is_none());
-        u.resolve(Addr::new(0x10), BranchKind::CondDirect, Addr::new(0x100), true, false);
+        u.resolve(
+            Addr::new(0x10),
+            BranchKind::CondDirect,
+            Addr::new(0x100),
+            true,
+            false,
+        );
         assert!(u.predict_at(Addr::new(0x10)).is_some());
     }
 
@@ -396,7 +416,13 @@ mod tests {
         let call_pc = Addr::new(0x100);
         let ret_pc = Addr::new(0x2000);
         // Teach the BTB about both branches.
-        u.resolve(call_pc, BranchKind::DirectCall, Addr::new(0x2000), true, false);
+        u.resolve(
+            call_pc,
+            BranchKind::DirectCall,
+            Addr::new(0x2000),
+            true,
+            false,
+        );
         u.resolve(ret_pc, BranchKind::Return, Addr::new(0x104), true, false);
         u.resync_speculative();
         // Prediction path: call pushes 0x104; return pops it.
@@ -410,7 +436,13 @@ mod tests {
     fn checkpoint_restore_repairs_ras() {
         let mut u = unit();
         let call_pc = Addr::new(0x100);
-        u.resolve(call_pc, BranchKind::DirectCall, Addr::new(0x2000), true, false);
+        u.resolve(
+            call_pc,
+            BranchKind::DirectCall,
+            Addr::new(0x2000),
+            true,
+            false,
+        );
         u.resync_speculative();
         let ckpt = u.checkpoint();
         let _ = u.predict_at(call_pc); // speculative push
@@ -439,8 +471,20 @@ mod tests {
     #[test]
     fn mispredict_stats_counted() {
         let mut u = unit();
-        u.resolve(Addr::new(0), BranchKind::CondDirect, Addr::new(0x40), true, true);
-        u.resolve(Addr::new(0), BranchKind::CondDirect, Addr::new(0x40), true, false);
+        u.resolve(
+            Addr::new(0),
+            BranchKind::CondDirect,
+            Addr::new(0x40),
+            true,
+            true,
+        );
+        u.resolve(
+            Addr::new(0),
+            BranchKind::CondDirect,
+            Addr::new(0x40),
+            true,
+            false,
+        );
         assert_eq!(u.stats().mispredicts.get(), 1);
         assert_eq!(u.stats().resolved.get(), 2);
         assert_eq!(u.stats().mpkb(), 500.0);
@@ -480,7 +524,13 @@ mod tests {
         let mut u = unit();
         let call_pc = Addr::new(0x100);
         let ret_pc = Addr::new(0x2000);
-        u.resolve(call_pc, BranchKind::DirectCall, Addr::new(0x2000), true, false);
+        u.resolve(
+            call_pc,
+            BranchKind::DirectCall,
+            Addr::new(0x2000),
+            true,
+            false,
+        );
         u.resolve(ret_pc, BranchKind::Return, Addr::new(0x104), true, false);
         u.resync_speculative();
         // Walk the call on the fill path; the return prediction must pop the
@@ -496,7 +546,12 @@ mod tests {
         let ret_pc = Addr::new(0x300);
         u.resolve(ret_pc, BranchKind::Return, Addr::new(0x999), true, false);
         u.resync_speculative();
-        u.commit_spec(Addr::new(0x100), BranchKind::DirectCall, Addr::new(0x300), true);
+        u.commit_spec(
+            Addr::new(0x100),
+            BranchKind::DirectCall,
+            Addr::new(0x300),
+            true,
+        );
         // Two consecutive predictions must agree: peeking the RAS must not pop.
         let a = u.predict_at(ret_pc).unwrap();
         let b = u.predict_at(ret_pc).unwrap();

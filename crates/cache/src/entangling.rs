@@ -92,10 +92,7 @@ impl EntanglingPrefetcher {
     fn index_and_tag(&self, line: LineAddr) -> (usize, u64) {
         let n = line.number();
         let mixed = n ^ (n >> self.config.table_log2);
-        (
-            (mixed & ((1u64 << self.config.table_log2) - 1)) as usize,
-            n,
-        )
+        ((mixed & ((1u64 << self.config.table_log2) - 1)) as usize, n)
     }
 
     /// Notes a demand access to `line` at `now`; returns the entangled

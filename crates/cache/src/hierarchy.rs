@@ -144,6 +144,12 @@ impl MemoryHierarchy {
         self.l1i.contains(line)
     }
 
+    /// Instruction-side MSHR entries still in flight as of `now`
+    /// (inspection helper; entries retire lazily as `now` advances).
+    pub fn i_mshrs_in_flight(&mut self, now: Cycle) -> usize {
+        self.i_mshrs.len(now)
+    }
+
     /// Requests under this many cycles are "short" stalls; exposed so
     /// reports can bucket head-stall severity.
     pub fn l1_latency(&self) -> u64 {
@@ -370,7 +376,7 @@ mod tests {
         let mut m = mem();
         // Fill L1I (4 KiB = 64 lines) far past capacity; early lines fall to L2.
         for n in 0..256 {
-            let r = m.fetch_instr(line(n), (n as u64) * 1000);
+            let r = m.fetch_instr(line(n), n * 1000);
             assert!(!r.merged);
         }
         let t = 10_000_000;

@@ -9,7 +9,10 @@
 //! * `swip run FILE [--ftq N] [--conservative]` — simulate a trace and
 //!   print the report;
 //! * `swip asmdb FILE --out FILE [--aggressive]` — run the AsmDB pipeline
-//!   and write the rewritten trace.
+//!   and write the rewritten trace;
+//! * `swip analyze FILE [--json]` — statically verify a trace (and the CFG,
+//!   plan, and rewrite derived from it) without simulating; exits non-zero
+//!   when errors are found.
 //!
 //! The parser is hand-rolled (the workspace's dependency budget is
 //! deliberately small) and returns structured [`Command`]s so it can be
@@ -65,6 +68,13 @@ pub enum Command {
         /// Use the aggressive tuning.
         aggressive: bool,
     },
+    /// Statically verify a trace file without simulating it.
+    Analyze {
+        /// Trace path.
+        file: String,
+        /// Emit the report as one JSON object instead of text.
+        json: bool,
+    },
     /// Print usage.
     Help,
 }
@@ -91,6 +101,7 @@ USAGE:
   swip inspect FILE
   swip run FILE [--ftq N] [--conservative]
   swip asmdb FILE --out FILE [--aggressive]
+  swip analyze FILE [--json]
   swip help
 ";
 
@@ -192,6 +203,20 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
                 aggressive,
             })
         }
+        "analyze" => {
+            let file = it
+                .next()
+                .ok_or_else(|| UsageError("analyze requires a trace file".into()))?
+                .to_string();
+            let mut json = false;
+            for a in it {
+                match a {
+                    "--json" => json = true,
+                    other => return Err(UsageError(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Analyze { file, json })
+        }
         other => Err(UsageError(format!("unknown subcommand {other}"))),
     }
 }
@@ -213,7 +238,10 @@ pub fn execute(cmd: Command) -> Result<(), Box<dyn Error>> {
         Command::Help => print!("{USAGE}"),
         Command::Suite { instructions } => {
             let suite = cvp1_suite(instructions);
-            println!("{:<20} {:>10} {:>10} {:>8}", "workload", "functions", "footprint", "family");
+            println!(
+                "{:<20} {:>10} {:>10} {:>8}",
+                "workload", "functions", "footprint", "family"
+            );
             for s in suite {
                 println!(
                     "{:<20} {:>10} {:>7} KiB {:>8?}",
@@ -271,6 +299,20 @@ pub fn execute(cmd: Command) -> Result<(), Box<dyn Error>> {
                 result.report.dynamic_bloat * 100.0
             );
         }
+        Command::Analyze { file, json } => {
+            let report = swip_analyze::analyze_read(File::open(&file)?, &file);
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                println!("{report}");
+            }
+            if report.has_errors() {
+                return Err(Box::new(UsageError(format!(
+                    "analysis found {} error(s) in {file}",
+                    report.errors()
+                ))));
+            }
+        }
     }
     Ok(())
 }
@@ -325,11 +367,27 @@ mod tests {
                 aggressive: true
             })
         );
+        assert_eq!(
+            parse(&["analyze", "x.swip"]),
+            Ok(Command::Analyze {
+                file: "x.swip".into(),
+                json: false
+            })
+        );
+        assert_eq!(
+            parse(&["analyze", "x.swip", "--json"]),
+            Ok(Command::Analyze {
+                file: "x.swip".into(),
+                json: true
+            })
+        );
     }
 
     #[test]
     fn rejects_bad_input() {
         assert!(parse(&["frobnicate"]).is_err());
+        assert!(parse(&["analyze"]).is_err());
+        assert!(parse(&["analyze", "x", "--bogus"]).is_err());
         assert!(parse(&["run"]).is_err());
         assert!(parse(&["run", "x", "--ftq"]).is_err());
         assert!(parse(&["run", "x", "--ftq", "zero"]).is_err());
@@ -355,6 +413,25 @@ mod tests {
             ftq: 4,
         })
         .unwrap();
+        execute(Command::Analyze {
+            file: path.clone(),
+            json: true,
+        })
+        .unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn analyze_fails_on_corrupt_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("swip_cli_corrupt.swip").display().to_string();
+        std::fs::write(&path, b"not a trace").unwrap();
+        let err = execute(Command::Analyze {
+            file: path.clone(),
+            json: false,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("error(s)"), "{err}");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -275,7 +275,11 @@ mod tests {
         }
     }
 
-    fn drain(be: &mut Backend, mem: &mut MemoryHierarchy, start: Cycle) -> (Cycle, Vec<ResolvedBranch>) {
+    fn drain(
+        be: &mut Backend,
+        mem: &mut MemoryHierarchy,
+        start: Cycle,
+    ) -> (Cycle, Vec<ResolvedBranch>) {
         let mut now = start;
         let mut all = Vec::new();
         while !be.is_empty() {
@@ -292,7 +296,11 @@ mod tests {
         let mut m = mem();
         // A slow load followed by a fast ALU op: the ALU op completes first
         // but must retire second.
-        be.dispatch(decoded(0), Instruction::load(Addr::new(0), Addr::new(0x9000)), 0);
+        be.dispatch(
+            decoded(0),
+            Instruction::load(Addr::new(0), Addr::new(0x9000)),
+            0,
+        );
         be.dispatch(decoded(1), Instruction::alu(Addr::new(4)), 0);
         let (_, _) = drain(&mut be, &mut m, 0);
         assert_eq!(be.retired(), 2);
@@ -354,7 +362,11 @@ mod tests {
     fn load_pays_memory_latency() {
         let mut be = Backend::new(BackendConfig::tiny());
         let mut m = mem();
-        be.dispatch(decoded(0), Instruction::load(Addr::new(0), Addr::new(0x9000)), 0);
+        be.dispatch(
+            decoded(0),
+            Instruction::load(Addr::new(0), Addr::new(0x9000)),
+            0,
+        );
         let (end, _) = drain(&mut be, &mut m, 0);
         assert!(end > HierarchyConfig::tiny().dram_latency);
     }

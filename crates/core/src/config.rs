@@ -72,19 +72,73 @@ impl SimConfig {
         let m = &self.memory;
         let b = &self.backend;
         vec![
-            ("FTQ".into(), format!("{} entries × {} instrs", f.ftq_entries, f.max_block_instrs)),
-            ("Fill/fetch BW".into(), format!("{} blocks, {} lines per cycle", f.fill_blocks_per_cycle, f.fetch_lines_per_cycle)),
+            (
+                "FTQ".into(),
+                format!("{} entries × {} instrs", f.ftq_entries, f.max_block_instrs),
+            ),
+            (
+                "Fill/fetch BW".into(),
+                format!(
+                    "{} blocks, {} lines per cycle",
+                    f.fill_blocks_per_cycle, f.fetch_lines_per_cycle
+                ),
+            ),
             ("Decode width".into(), format!("{}", f.decode_width)),
             ("Post-fetch correction".into(), format!("{}", f.enable_pfc)),
-            ("Branch predictor".into(), format!("{:?}, 2^{} entries", f.branch.direction, f.branch.direction_log2_entries)),
-            ("BTB".into(), format!("{} sets × {} ways", f.branch.btb_sets, f.branch.btb_assoc)),
+            (
+                "Branch predictor".into(),
+                format!(
+                    "{:?}, 2^{} entries",
+                    f.branch.direction, f.branch.direction_log2_entries
+                ),
+            ),
+            (
+                "BTB".into(),
+                format!("{} sets × {} ways", f.branch.btb_sets, f.branch.btb_assoc),
+            ),
             ("RAS".into(), format!("{} entries", f.branch.ras_entries)),
             ("ROB".into(), format!("{} entries", b.rob_size)),
-            ("Issue/retire width".into(), format!("{}/{}", b.issue_width, b.retire_width)),
-            ("L1I".into(), format!("{} KiB, {}-way, {}-cycle, {} MSHRs", m.l1i.capacity_bytes() / 1024, m.l1i.ways, m.l1i.latency, m.l1i.mshrs)),
-            ("L1D".into(), format!("{} KiB, {}-way, {}-cycle", m.l1d.capacity_bytes() / 1024, m.l1d.ways, m.l1d.latency)),
-            ("L2".into(), format!("{} KiB, {}-way, +{} cycles", m.l2.capacity_bytes() / 1024, m.l2.ways, m.l2.latency)),
-            ("LLC".into(), format!("{} KiB, {}-way, +{} cycles", m.llc.capacity_bytes() / 1024, m.llc.ways, m.llc.latency)),
+            (
+                "Issue/retire width".into(),
+                format!("{}/{}", b.issue_width, b.retire_width),
+            ),
+            (
+                "L1I".into(),
+                format!(
+                    "{} KiB, {}-way, {}-cycle, {} MSHRs",
+                    m.l1i.capacity_bytes() / 1024,
+                    m.l1i.ways,
+                    m.l1i.latency,
+                    m.l1i.mshrs
+                ),
+            ),
+            (
+                "L1D".into(),
+                format!(
+                    "{} KiB, {}-way, {}-cycle",
+                    m.l1d.capacity_bytes() / 1024,
+                    m.l1d.ways,
+                    m.l1d.latency
+                ),
+            ),
+            (
+                "L2".into(),
+                format!(
+                    "{} KiB, {}-way, +{} cycles",
+                    m.l2.capacity_bytes() / 1024,
+                    m.l2.ways,
+                    m.l2.latency
+                ),
+            ),
+            (
+                "LLC".into(),
+                format!(
+                    "{} KiB, {}-way, +{} cycles",
+                    m.llc.capacity_bytes() / 1024,
+                    m.llc.ways,
+                    m.llc.latency
+                ),
+            ),
             ("DRAM".into(), format!("+{} cycles", m.dram_latency)),
         ]
     }
@@ -119,7 +173,10 @@ mod tests {
     #[test]
     fn ftq_sweep() {
         assert_eq!(
-            SimConfig::sunny_cove_like().with_ftq_entries(12).frontend.ftq_entries,
+            SimConfig::sunny_cove_like()
+                .with_ftq_entries(12)
+                .frontend
+                .ftq_entries,
             12
         );
     }

@@ -109,6 +109,20 @@ impl Simulator {
             }
         }
 
+        // I003 (feature `invariants`): every instruction-side MSHR must
+        // drain once the run completes — an entry still pending past any
+        // plausible memory latency is a leak. Skipped on watchdog abort,
+        // where in-flight fetches are legitimately cut short.
+        #[cfg(feature = "invariants")]
+        if completed {
+            let horizon = now + 1_000_000;
+            let leaked = mem.i_mshrs_in_flight(horizon);
+            assert_eq!(
+                leaked, 0,
+                "I003: {leaked} instruction MSHR entr(ies) never drained"
+            );
+        }
+
         let instructions = backend.retired();
         let prefetch_instructions = trace
             .iter()
@@ -201,7 +215,11 @@ mod tests {
         let trace = b.finish();
         let r = sim().run(&trace);
         assert!(r.completed);
-        assert!(r.l1i_mpki > 5.0, "expected I-bound workload, MPKI {:.2}", r.l1i_mpki);
+        assert!(
+            r.l1i_mpki > 5.0,
+            "expected I-bound workload, MPKI {:.2}",
+            r.l1i_mpki
+        );
     }
 
     #[test]
@@ -286,7 +304,11 @@ mod tests {
         let trace = b.finish();
         let r = sim().run(&trace);
         assert!(r.completed);
-        assert!(r.ipc < 0.5, "dependent-load chain should crawl, got {:.3}", r.ipc);
+        assert!(
+            r.ipc < 0.5,
+            "dependent-load chain should crawl, got {:.3}",
+            r.ipc
+        );
     }
 
     #[test]

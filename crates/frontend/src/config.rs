@@ -94,8 +94,14 @@ impl FrontendConfig {
     pub fn validate(&self) {
         assert!(self.ftq_entries > 0, "ftq must have at least one entry");
         assert!(self.max_block_instrs > 0, "blocks must hold instructions");
-        assert!(self.fill_blocks_per_cycle > 0, "fill bandwidth must be nonzero");
-        assert!(self.fetch_lines_per_cycle > 0, "fetch bandwidth must be nonzero");
+        assert!(
+            self.fill_blocks_per_cycle > 0,
+            "fill bandwidth must be nonzero"
+        );
+        assert!(
+            self.fetch_lines_per_cycle > 0,
+            "fetch bandwidth must be nonzero"
+        );
         assert!(self.decode_width > 0, "decode width must be nonzero");
     }
 }
@@ -126,6 +132,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one entry")]
     fn zero_ftq_rejected() {
-        FrontendConfig::industry_standard().with_ftq_entries(0).validate();
+        FrontendConfig::industry_standard()
+            .with_ftq_entries(0)
+            .validate();
     }
 }

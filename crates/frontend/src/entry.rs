@@ -139,10 +139,16 @@ mod tests {
         e.add_line(line(1));
         e.add_line(line(2));
         assert!(!e.is_fetch_complete(100));
-        e.lines[0].1 = LineState::InFlight { done: 10, aliased: false };
+        e.lines[0].1 = LineState::InFlight {
+            done: 10,
+            aliased: false,
+        };
         assert!(!e.is_fetch_complete(100));
         assert_eq!(e.completion_cycle(), None);
-        e.lines[1].1 = LineState::InFlight { done: 50, aliased: true };
+        e.lines[1].1 = LineState::InFlight {
+            done: 50,
+            aliased: true,
+        };
         assert!(!e.is_fetch_complete(49));
         assert!(e.is_fetch_complete(50));
         assert_eq!(e.completion_cycle(), Some(50));

@@ -23,6 +23,9 @@ pub struct DecodedInstr {
 }
 
 /// Why the fill engine is not producing new FTQ entries.
+// The `Until` prefix is the point: each variant names the event that
+// unblocks fill.
+#[allow(clippy::enum_variant_names)]
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 enum Blocked {
     /// A mispredicted branch must resolve at execute.
@@ -166,7 +169,11 @@ impl Frontend {
     /// each L1-I line request consults a small L1-side metadata cache and,
     /// on a miss there, fetches the entry from the LLC table after the
     /// configured latency before firing its prefetches.
-    pub fn set_preload_metadata(&mut self, metadata: HashMap<u64, Vec<Addr>>, config: PreloadConfig) {
+    pub fn set_preload_metadata(
+        &mut self,
+        metadata: HashMap<u64, Vec<Addr>>,
+        config: PreloadConfig,
+    ) {
         self.preload = Some(PreloadState {
             config,
             llc_table: metadata,
@@ -233,11 +240,17 @@ impl Frontend {
     /// plus (for the branch the fill engine is stalled on) the redirect that
     /// resumes fill after the configured penalty.
     pub fn handle_resolution(&mut self, seq: SeqNum, instr: &Instruction, resolved_at: Cycle) {
-        let InstrKind::Branch { kind, target, taken } = instr.kind else {
+        let InstrKind::Branch {
+            kind,
+            target,
+            taken,
+        } = instr.kind
+        else {
             return;
         };
         let was_mispredicted = self.mispredicted.remove(&seq);
-        self.branch.resolve(instr.pc, kind, target, taken, was_mispredicted);
+        self.branch
+            .resolve(instr.pc, kind, target, taken, was_mispredicted);
         if let Some(Blocked::UntilResolve { seq: s }) = self.blocked {
             if s == seq {
                 self.blocked = Some(Blocked::UntilCycle {
@@ -285,7 +298,12 @@ impl Frontend {
                         // it into the speculative history (the paper's GHR
                         // "flush and update" improvement).
                         let last = &trace.instructions()[(end - 1) as usize];
-                        if let InstrKind::Branch { kind, target, taken: true } = last.kind {
+                        if let InstrKind::Branch {
+                            kind,
+                            target,
+                            taken: true,
+                        } = last.kind
+                        {
                             self.branch.train_btb_from_predecode(last.pc, kind, target);
                         }
                     }
@@ -351,7 +369,12 @@ impl Frontend {
             let prediction = self.branch.predict_at(instr.pc);
             // Keep the speculative history on the fill path: commit the
             // actual outcome of every branch the fill engine walks past.
-            if let InstrKind::Branch { kind, target, taken } = instr.kind {
+            if let InstrKind::Branch {
+                kind,
+                target,
+                taken,
+            } = instr.kind
+            {
                 self.branch.commit_spec(instr.pc, kind, target, taken);
             }
             match (prediction, instr.kind) {
@@ -375,7 +398,14 @@ impl Frontend {
                 (None, _) => {
                     // Non-branch, or an invisible not-taken branch: sequential.
                 }
-                (Some(p), InstrKind::Branch { kind, target, taken }) => {
+                (
+                    Some(p),
+                    InstrKind::Branch {
+                        kind,
+                        target,
+                        taken,
+                    },
+                ) => {
                     let correct = p.taken == taken && (!taken || p.target == target);
                     if correct {
                         if taken {
@@ -508,6 +538,27 @@ impl Frontend {
                 self.note_head_stall(now);
             }
         }
+        // Runtime mirrors of the static rule catalog (DESIGN.md §8), active
+        // only under the `invariants` feature: the same properties
+        // `swip-analyze` proves statically, asserted while simulating.
+        #[cfg(feature = "invariants")]
+        {
+            assert!(
+                self.ftq.len() <= self.ftq.capacity(),
+                "I001: FTQ occupancy {} exceeds capacity {} at cycle {now}",
+                self.ftq.len(),
+                self.ftq.capacity()
+            );
+            let scenario_sum = self.stats.s1_cycles.get()
+                + self.stats.s2_cycles.get()
+                + self.stats.s3_cycles.get()
+                + self.stats.empty_cycles.get();
+            assert_eq!(
+                self.stats.cycles.get(),
+                scenario_sum,
+                "I002: scenario classification is not exhaustive/exclusive at cycle {now}"
+            );
+        }
     }
 
     fn note_head_stall(&mut self, now: Cycle) {
@@ -535,11 +586,7 @@ impl Frontend {
         if head.is_fetch_complete(now) {
             return Scenario::ShootThrough;
         }
-        let any_incomplete_behind = self
-            .ftq
-            .iter()
-            .skip(1)
-            .any(|e| !e.is_fetch_complete(now));
+        let any_incomplete_behind = self.ftq.iter().skip(1).any(|e| !e.is_fetch_complete(now));
         if any_incomplete_behind {
             Scenario::ShadowStall
         } else {
@@ -680,7 +727,10 @@ mod tests {
             all.extend(out);
             now += 1;
         }
-        assert!(fe.is_done(trace), "front-end did not drain in {max_cycles} cycles");
+        assert!(
+            fe.is_done(trace),
+            "front-end did not drain in {max_cycles} cycles"
+        );
         all
     }
 
@@ -794,7 +844,10 @@ mod tests {
             run_to_completion(&mut fe, &trace, &mut mem, 200_000);
             fe.stats().alias_fraction()
         };
-        assert!(run(24) > run(2), "24-entry FTQ should alias more than 2-entry");
+        assert!(
+            run(24) > run(2),
+            "24-entry FTQ should alias more than 2-entry"
+        );
     }
 
     #[test]
@@ -879,10 +932,13 @@ mod tests {
         metadata.insert(Addr::new(0x0).line().number(), vec![far]);
         // Latency chosen so the metadata arrives once the cold-start misses
         // have drained the tiny MSHR file.
-        fe.set_preload_metadata(metadata, crate::PreloadConfig {
-            l1_entries: 8,
-            metadata_latency: 90,
-        });
+        fe.set_preload_metadata(
+            metadata,
+            crate::PreloadConfig {
+                l1_entries: 8,
+                metadata_latency: 90,
+            },
+        );
         let mut mem = tiny_mem();
         run_to_completion(&mut fe, &trace, &mut mem, 100_000);
         assert_eq!(fe.stats().preload_metadata_requests.get(), 1);

@@ -128,7 +128,11 @@ fn encode_instr<W: Write>(i: &Instruction, w: &mut W) -> io::Result<()> {
             w.write_all(&[2u8])?;
             w.write_all(&addr.raw().to_le_bytes())?;
         }
-        InstrKind::Branch { kind, target, taken } => {
+        InstrKind::Branch {
+            kind,
+            target,
+            taken,
+        } => {
             w.write_all(&[3u8, branch_kind_tag(kind)])?;
             w.write_all(&target.raw().to_le_bytes())?;
             w.write_all(&[taken as u8])?;
@@ -282,8 +286,7 @@ mod tests {
             Instruction::cond_branch(Addr::new(0xc), Addr::new(0x100), false),
             Instruction::jump(Addr::new(0x10), Addr::new(0x200)),
             Instruction::call(Addr::new(0x14), Addr::new(0x300)),
-            Instruction::indirect_call(Addr::new(0x18), Addr::new(0x400))
-                .with_srcs(&[Reg::new(9)]),
+            Instruction::indirect_call(Addr::new(0x18), Addr::new(0x400)).with_srcs(&[Reg::new(9)]),
             Instruction::indirect_jump(Addr::new(0x1c), Addr::new(0x500)),
             Instruction::ret(Addr::new(0x20), Addr::new(0x18)),
             Instruction::prefetch_i(Addr::new(0x24), Addr::new(0x4000)),
@@ -307,7 +310,9 @@ mod tests {
     #[test]
     fn rejects_bad_version() {
         let mut buf = Vec::new();
-        Trace::from_instructions("v", vec![]).write_to(&mut buf).unwrap();
+        Trace::from_instructions("v", vec![])
+            .write_to(&mut buf)
+            .unwrap();
         buf[4] = 99;
         let err = Trace::read_from(buf.as_slice()).unwrap_err();
         assert!(matches!(err, DecodeError::UnsupportedVersion(99)));

@@ -3,7 +3,6 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use swip_types::InstrKind;
 
 use crate::Trace;
@@ -30,7 +29,7 @@ use crate::Trace;
 /// assert_eq!(s.branches, 1);
 /// assert_eq!(s.unique_pcs, 2);
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct TraceSummary {
     /// Total dynamic instructions.
     pub total: u64,

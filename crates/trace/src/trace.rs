@@ -4,7 +4,6 @@ use std::fmt;
 use std::io::{Read, Write};
 use std::slice;
 
-use serde::{Deserialize, Serialize};
 use swip_types::Instruction;
 
 use crate::codec;
@@ -28,7 +27,7 @@ use crate::summary::TraceSummary;
 /// assert_eq!(t.name(), "t");
 /// assert!(!t.is_empty());
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Trace {
     name: String,
     instrs: Vec<Instruction>,

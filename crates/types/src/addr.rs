@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Size of a cache line in bytes. Fixed at 64 B, matching ChampSim and the
 /// paper's configuration ("one entry [can] represent eight [32-bit]
 /// instructions" — two entries per 64 B line).
@@ -29,10 +27,7 @@ const LINE_SHIFT: u32 = CACHE_LINE_SIZE.trailing_zeros();
 /// ```
 ///
 /// [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
-#[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Addr(u64);
 
 impl Addr {
@@ -135,10 +130,7 @@ impl From<Addr> for u64 {
 /// assert_eq!(l.base(), Addr::new(0x1040));
 /// assert_eq!(l.next(), Addr::new(0x1080).line());
 /// ```
-#[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LineAddr(u64);
 
 impl LineAddr {

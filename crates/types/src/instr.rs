@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Addr, Reg};
 
 /// Default instruction size in bytes (the paper assumes 32-bit instructions:
@@ -17,7 +15,7 @@ pub const DEFAULT_INSTR_SIZE: u8 = 4;
 /// conditional branches consult the direction predictor; returns consult the
 /// RAS; indirect jumps and calls consult the indirect predictor; all taken
 /// branches need a BTB target.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum BranchKind {
     /// Conditional direct branch (taken or not-taken per execution).
     CondDirect,
@@ -55,7 +53,7 @@ impl BranchKind {
 }
 
 /// The operation class of an instruction, with class-specific payload.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum InstrKind {
     /// Integer/FP computation; no memory or control-flow side effects.
     Alu,
@@ -108,7 +106,7 @@ pub enum InstrKind {
 /// ```
 ///
 /// [C-STRUCT-PRIVATE]: https://rust-lang.github.io/api-guidelines/future-proofing.html
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Instruction {
     /// Program counter of this instruction.
     pub pc: Addr,
@@ -188,7 +186,14 @@ impl Instruction {
             taken || !kind.is_unconditional(),
             "unconditional branch at {pc} cannot be not-taken"
         );
-        Self::with_kind(pc, InstrKind::Branch { kind, target, taken })
+        Self::with_kind(
+            pc,
+            InstrKind::Branch {
+                kind,
+                target,
+                taken,
+            },
+        )
     }
 
     /// Creates a software instruction prefetch of `target`'s line.
@@ -262,7 +267,9 @@ impl Instruction {
     pub fn next_pc(&self) -> Addr {
         match self.kind {
             InstrKind::Branch {
-                target, taken: true, ..
+                target,
+                taken: true,
+                ..
             } => target,
             _ => self.fallthrough(),
         }
@@ -280,7 +287,11 @@ impl fmt::Display for Instruction {
             InstrKind::Alu => write!(f, "{}: alu", self.pc),
             InstrKind::Load { addr } => write!(f, "{}: load [{addr}]", self.pc),
             InstrKind::Store { addr } => write!(f, "{}: store [{addr}]", self.pc),
-            InstrKind::Branch { kind, target, taken } => {
+            InstrKind::Branch {
+                kind,
+                target,
+                taken,
+            } => {
                 write!(
                     f,
                     "{}: {kind:?} -> {target} ({})",
@@ -336,12 +347,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot be not-taken")]
     fn not_taken_jump_panics() {
-        let _ = Instruction::branch(
-            Addr::new(0),
-            BranchKind::UncondDirect,
-            Addr::new(64),
-            false,
-        );
+        let _ = Instruction::branch(Addr::new(0), BranchKind::UncondDirect, Addr::new(64), false);
     }
 
     #[test]

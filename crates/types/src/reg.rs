@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// An architectural register identifier.
 ///
 /// The simulated ISA exposes [`Reg::COUNT`] integer registers (matching the
@@ -18,10 +16,7 @@ use serde::{Deserialize, Serialize};
 /// let r = Reg::new(3);
 /// assert_eq!(r.index(), 3);
 /// ```
-#[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Reg(u8);
 
 impl Reg {

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A saturating event counter.
 ///
 /// A thin wrapper over `u64` that makes statistics structs self-describing
@@ -19,10 +17,7 @@ use serde::{Deserialize, Serialize};
 /// c.incr();
 /// assert_eq!(c.get(), 4);
 /// ```
-#[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -81,7 +76,7 @@ impl From<Counter> for u64 {
 /// r.record(false);
 /// assert_eq!(r.rate(), 0.5);
 /// ```
-#[derive(Copy, Clone, PartialEq, Eq, Default, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Default, Debug)]
 pub struct Ratio {
     hits: u64,
     total: u64,
@@ -128,7 +123,13 @@ impl Ratio {
 
 impl fmt::Display for Ratio {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{} ({:.2}%)", self.hits, self.total, self.rate() * 100.0)
+        write!(
+            f,
+            "{}/{} ({:.2}%)",
+            self.hits,
+            self.total,
+            self.rate() * 100.0
+        )
     }
 }
 
@@ -145,7 +146,7 @@ impl fmt::Display for Ratio {
 /// assert_eq!(m.mean(), 15.0);
 /// assert_eq!(m.count(), 2);
 /// ```
-#[derive(Copy, Clone, PartialEq, Eq, Default, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Default, Debug)]
 pub struct RunningMean {
     sum: u64,
     count: u64,

@@ -62,10 +62,8 @@ impl Emitter<'_> {
             self.out
                 .push(Instruction::indirect_call(call_pc, root_base).with_srcs(&[Reg::new(1)]));
             self.walk(root, self.program.dispatcher_jump_pc);
-            self.out.push(Instruction::jump(
-                self.program.dispatcher_jump_pc,
-                call_pc,
-            ));
+            self.out
+                .push(Instruction::jump(self.program.dispatcher_jump_pc, call_pc));
         }
     }
 
@@ -261,13 +259,7 @@ mod tests {
         let instrs = t.instructions();
         for w in instrs.windows(2) {
             let (a, b) = (&w[0], &w[1]);
-            assert_eq!(
-                a.next_pc(),
-                b.pc,
-                "discontinuity between {} and {}",
-                a,
-                b
-            );
+            assert_eq!(a.next_pc(), b.pc, "discontinuity between {} and {}", a, b);
         }
     }
 

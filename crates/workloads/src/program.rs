@@ -150,7 +150,9 @@ impl Program {
 
         // Assign functions to layers 1..=layers round-robin, then generate
         // structure. Layout happens afterwards so block addresses are final.
-        let mut protos: Vec<(usize, Vec<(Vec<Slot>, Terminator)>)> = Vec::new();
+        // (layer, blocks-as-(body, terminator)) per function, pre-layout.
+        type ProtoBlock = (Vec<Slot>, Terminator);
+        let mut protos: Vec<(usize, Vec<ProtoBlock>)> = Vec::new();
         for f in 0..spec.functions {
             let layer = 1 + f % layers;
             let nblocks = rng.gen_range((spec.avg_blocks / 2).max(2)..=spec.avg_blocks * 2);
@@ -161,7 +163,9 @@ impl Program {
                 let term = if b + 1 == nblocks {
                     Terminator::Return
                 } else {
-                    gen_terminator(spec, &mut rng, f, layer, layers, b, nblocks, &mut calls, &blocks)
+                    gen_terminator(
+                        spec, &mut rng, f, layer, layers, b, nblocks, &mut calls, &blocks,
+                    )
                 };
                 blocks.push((body, term));
             }
@@ -261,10 +265,10 @@ fn gen_body(spec: &WorkloadSpec, rng: &mut SmallRng) -> Vec<Slot> {
 /// (CVP-1's front-end-bound traces behave the same way).
 fn pick_stride(rng: &mut SmallRng) -> u64 {
     match rng.gen_range(0..100u32) {
-        0..=79 => 0,     // revisits one address: L1-D hit
-        80..=92 => 8,    // walks within a line: mostly hits
-        93..=98 => 64,   // streaming: misses amortized by spatial reuse
-        _ => 4096 + 64,  // page-crossing: rare long-latency load
+        0..=79 => 0,    // revisits one address: L1-D hit
+        80..=92 => 8,   // walks within a line: mostly hits
+        93..=98 => 64,  // streaming: misses amortized by spatial reuse
+        _ => 4096 + 64, // page-crossing: rare long-latency load
     }
 }
 
@@ -296,7 +300,11 @@ fn gen_terminator(
         }
         *calls += 1;
         let indirect = rng.gen::<f64>() < spec.indirect_call_fraction;
-        let ntargets = if indirect { rng.gen_range(2..=4usize) } else { 1 };
+        let ntargets = if indirect {
+            rng.gen_range(2..=4usize)
+        } else {
+            1
+        };
         let targets = (0..ntargets)
             .map(|_| next_layer[rng.gen_range(0..next_layer.len())])
             .collect();

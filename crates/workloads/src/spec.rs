@@ -1,9 +1,7 @@
 //! Workload specifications: the 48-trace CVP-1-like suite.
 
-use serde::{Deserialize, Serialize};
-
 /// Workload family, mirroring the CVP-1 categories in the paper's Figure 1.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Family {
     /// Server workloads (`*_srv*`): very large instruction footprints, deep
     /// call stacks, indirect dispatch — the front-end-bound regime.
@@ -21,7 +19,7 @@ pub enum Family {
 ///
 /// All structure is derived deterministically from `seed`, so a spec fully
 /// identifies its trace.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct WorkloadSpec {
     /// Workload name (the paper's Figure 1 trace names).
     pub name: String,

@@ -48,7 +48,10 @@ fn main() {
             "AsmDB no-overhead (conservative)",
             Simulator::new(conservative).run_with_hints(&trace, &out.hints),
         ),
-        ("FDP 24-entry FTQ", Simulator::new(industry.clone()).run(&trace)),
+        (
+            "FDP 24-entry FTQ",
+            Simulator::new(industry.clone()).run(&trace),
+        ),
         (
             "AsmDB + FDP",
             Simulator::new(industry.clone()).run(&out.rewritten),

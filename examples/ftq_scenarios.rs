@@ -27,10 +27,22 @@ fn main() {
         let (s1, s2, s3, empty) = r.frontend.scenario_fractions();
         println!("=== {label} ===");
         println!("  IPC {:.3}, L1-I MPKI {:.1}", r.effective_ipc, r.l1i_mpki);
-        println!("  Scenario 1 (shoot through):  {:5.1}% of cycles", s1 * 100.0);
-        println!("  Scenario 2 (stalling head):  {:5.1}% of cycles", s2 * 100.0);
-        println!("  Scenario 3 (shadow stalls):  {:5.1}% of cycles", s3 * 100.0);
-        println!("  FTQ empty:                   {:5.1}% of cycles", empty * 100.0);
+        println!(
+            "  Scenario 1 (shoot through):  {:5.1}% of cycles",
+            s1 * 100.0
+        );
+        println!(
+            "  Scenario 2 (stalling head):  {:5.1}% of cycles",
+            s2 * 100.0
+        );
+        println!(
+            "  Scenario 3 (shadow stalls):  {:5.1}% of cycles",
+            s3 * 100.0
+        );
+        println!(
+            "  FTQ empty:                   {:5.1}% of cycles",
+            empty * 100.0
+        );
         println!(
             "  head stalls {} cycles; {} entries waited on a stalling head; \
              {} entries reached the head mid-fetch",

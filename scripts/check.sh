@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Local CI gate: formatting, lints, and the full test suite.
+# Run from anywhere; operates on the workspace root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "All checks passed."

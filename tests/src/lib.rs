@@ -1,2 +1,4 @@
 //! Cross-crate integration tests for `swip-fe` live in `tests/`; this
 //! library target is intentionally empty.
+
+#![forbid(unsafe_code)]

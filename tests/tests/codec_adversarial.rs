@@ -1,0 +1,165 @@
+//! Adversarial decoding tests: the `SWIP` codec must reject every corrupt
+//! or truncated stream with a typed [`DecodeError`] — never panic, never
+//! return a half-decoded trace.
+
+use swip_trace::{DecodeError, Trace};
+use swip_types::{Addr, Instruction, Reg};
+
+/// A small but kind-complete valid trace, encoded.
+fn encoded_fixture() -> Vec<u8> {
+    let instrs = vec![
+        Instruction::alu(Addr::new(0x0)).with_dst(Reg::new(1)),
+        Instruction::load(Addr::new(0x4), Addr::new(0x9000))
+            .with_srcs(&[Reg::new(2)])
+            .with_dst(Reg::new(3)),
+        Instruction::store(Addr::new(0x8), Addr::new(0x9040))
+            .with_srcs(&[Reg::new(3), Reg::new(4)]),
+        Instruction::cond_branch(Addr::new(0xc), Addr::new(0x40), true),
+        Instruction::alu(Addr::new(0x40)),
+        Instruction::prefetch_i(Addr::new(0x44), Addr::new(0x40)),
+    ];
+    let mut buf = Vec::new();
+    Trace::from_instructions("adv", instrs)
+        .write_to(&mut buf)
+        .unwrap();
+    buf
+}
+
+#[test]
+fn full_fixture_round_trips() {
+    let buf = encoded_fixture();
+    let t = Trace::read_from(buf.as_slice()).unwrap();
+    assert_eq!(t.name(), "adv");
+    assert_eq!(t.len(), 6);
+    let mut again = Vec::new();
+    t.write_to(&mut again).unwrap();
+    assert_eq!(buf, again);
+}
+
+#[test]
+fn every_proper_prefix_is_rejected() {
+    let buf = encoded_fixture();
+    for cut in 0..buf.len() {
+        let err = Trace::read_from(&buf[..cut])
+            .expect_err("a truncated stream must never decode successfully");
+        // Truncation surfaces as an unexpected-EOF I/O error.
+        assert!(
+            matches!(err, DecodeError::Io(_)),
+            "prefix of {cut} bytes: unexpected error {err:?}"
+        );
+    }
+}
+
+#[test]
+fn bad_magic_is_typed() {
+    let mut buf = encoded_fixture();
+    buf[0] = b'X';
+    match Trace::read_from(buf.as_slice()).unwrap_err() {
+        DecodeError::BadMagic(m) => assert_eq!(&m, b"XWIP"),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn unsupported_version_is_typed() {
+    let mut buf = encoded_fixture();
+    buf[4..8].copy_from_slice(&2u32.to_le_bytes());
+    assert!(matches!(
+        Trace::read_from(buf.as_slice()).unwrap_err(),
+        DecodeError::UnsupportedVersion(2)
+    ));
+}
+
+#[test]
+fn implausible_name_length_is_typed() {
+    let mut buf = encoded_fixture();
+    // 2 MiB name in a 100-byte file: rejected before any allocation.
+    buf[8..12].copy_from_slice(&(2u32 << 20).to_le_bytes());
+    assert!(matches!(
+        Trace::read_from(buf.as_slice()).unwrap_err(),
+        DecodeError::BadLength(n) if n == 2 << 20
+    ));
+}
+
+#[test]
+fn non_utf8_name_is_typed() {
+    let mut buf = encoded_fixture();
+    buf[12] = 0xff; // first byte of the 3-byte name "adv"
+    assert!(matches!(
+        Trace::read_from(buf.as_slice()).unwrap_err(),
+        DecodeError::BadName
+    ));
+}
+
+#[test]
+fn implausible_count_is_typed() {
+    let mut buf = encoded_fixture();
+    let count_at = 12 + 3; // after magic+version+namelen and the 3-byte name
+    buf[count_at..count_at + 8].copy_from_slice(&((1u64 << 40) + 1).to_le_bytes());
+    assert!(matches!(
+        Trace::read_from(buf.as_slice()).unwrap_err(),
+        DecodeError::BadLength(n) if n == (1 << 40) + 1
+    ));
+}
+
+/// Byte offset of the first instruction record in the fixture.
+const FIRST_RECORD: usize = 12 + 3 + 8;
+
+#[test]
+fn unknown_kind_tag_is_typed() {
+    let mut buf = encoded_fixture();
+    let tag_at = FIRST_RECORD + 8 + 1; // past pc and size
+    buf[tag_at] = 9;
+    assert!(matches!(
+        Trace::read_from(buf.as_slice()).unwrap_err(),
+        DecodeError::BadTag(9)
+    ));
+}
+
+#[test]
+fn unknown_branch_kind_tag_is_typed() {
+    let mut buf = encoded_fixture();
+    // Record 3 is the cond_branch; skip the three records before it.
+    let alu = 8 + 1 + 1 + 1 + 1; // no payload, no srcs, dst byte
+    let load = 8 + 1 + 1 + 8 + 1 + 1 + 1; // addr, one src byte
+    let store = 8 + 1 + 1 + 8 + 1 + 2 + 1; // addr, two src bytes
+    let branch_kind_at = FIRST_RECORD + alu + load + store + 8 + 1 + 1;
+    buf[branch_kind_at] = 6; // valid kinds are 0-5
+    assert!(matches!(
+        Trace::read_from(buf.as_slice()).unwrap_err(),
+        DecodeError::BadTag(6)
+    ));
+}
+
+#[test]
+fn out_of_range_src_register_is_typed() {
+    let mut buf = encoded_fixture();
+    let alu = 8 + 1 + 1 + 1 + 1;
+    let src_at = FIRST_RECORD + alu + 8 + 1 + 1 + 8 + 1; // load's single src byte
+    buf[src_at] = Reg::COUNT as u8; // one past the last valid register
+    assert!(matches!(
+        Trace::read_from(buf.as_slice()).unwrap_err(),
+        DecodeError::BadRegister(r) if r as usize == Reg::COUNT
+    ));
+}
+
+#[test]
+fn out_of_range_dst_register_is_typed() {
+    let mut buf = encoded_fixture();
+    let dst_at = FIRST_RECORD + 8 + 1 + 1 + 1; // first record's dst byte
+    buf[dst_at] = 0xfe; // not the 0xff none-sentinel, not a valid register
+    assert!(matches!(
+        Trace::read_from(buf.as_slice()).unwrap_err(),
+        DecodeError::BadRegister(0xfe)
+    ));
+}
+
+#[test]
+fn trailing_garbage_is_ignored_but_count_is_honored() {
+    // The codec reads exactly `count` records; trailing bytes are the
+    // caller's concern (e.g. concatenated containers).
+    let mut buf = encoded_fixture();
+    buf.extend_from_slice(b"garbage");
+    let t = Trace::read_from(buf.as_slice()).unwrap();
+    assert_eq!(t.len(), 6);
+}

@@ -65,8 +65,16 @@ fn family_mpki_ordering_holds() {
         srv.l1i_mpki,
         crypto.l1i_mpki
     );
-    assert!(crypto.l1i_mpki < 15.0, "crypto MPKI too high: {:.1}", crypto.l1i_mpki);
-    assert!(srv.l1i_mpki > 5.0, "server MPKI too low: {:.1}", srv.l1i_mpki);
+    assert!(
+        crypto.l1i_mpki < 15.0,
+        "crypto MPKI too high: {:.1}",
+        crypto.l1i_mpki
+    );
+    assert!(
+        srv.l1i_mpki > 5.0,
+        "server MPKI too low: {:.1}",
+        srv.l1i_mpki
+    );
 }
 
 #[test]
