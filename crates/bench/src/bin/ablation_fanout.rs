@@ -1,39 +1,50 @@
 //! Ablation: AsmDB's fanout/reach threshold ("Increasing AsmDB's fanout
-//! threshold decreases its accuracy but results in higher miss coverage").
+//! threshold decreases its accuracy but results in higher miss
+//! coverage").
+
+use std::process::ExitCode;
 
 use swip_asmdb::{Asmdb, AsmdbConfig};
-use swip_bench::Harness;
+use swip_bench::{BenchError, SessionBuilder};
 use swip_core::{SimConfig, Simulator};
 use swip_types::geomean;
-use swip_workloads::generate;
 
 const REACHES: [f64; 4] = [0.10, 0.30, 0.50, 0.70];
 
-fn main() {
-    let h = Harness::from_env();
-    let mut per: Vec<Vec<f64>> = vec![Vec::new(); REACHES.len() * 2];
-    let mut rows = Vec::new();
-    for spec in h.workloads() {
-        let trace = generate(&spec);
+fn run() -> Result<(), BenchError> {
+    let session = SessionBuilder::from_env().build()?;
+    let specs = session.workloads();
+    let per_workload = session.par_map(&specs, |_, spec| {
+        let trace = session.trace(spec);
         let cons = SimConfig::conservative();
         let base = Simulator::new(cons.clone()).run(&trace);
         let mut cells = vec![spec.name.clone()];
-        for (i, &reach) in REACHES.iter().enumerate() {
+        let mut pairs = Vec::with_capacity(REACHES.len());
+        for &reach in &REACHES {
             let asmdb = Asmdb::new(AsmdbConfig {
                 min_reach: reach,
-                ..h.asmdb.clone()
+                ..session.asmdb_config().clone()
             });
             let out = asmdb.run(&trace, &cons);
             let s = Simulator::new(cons.clone())
                 .run(&out.rewritten)
                 .speedup_over(&base);
-            per[i * 2].push(s);
-            per[i * 2 + 1].push(out.report.dynamic_bloat * 100.0);
-            cells.push(format!("{s:.4}\t{:.2}", out.report.dynamic_bloat * 100.0));
+            let bloat = out.report.dynamic_bloat * 100.0;
+            pairs.push((s, bloat));
+            cells.push(format!("{s:.4}\t{bloat:.2}"));
         }
         let row = cells.join("\t");
         eprintln!("{row}");
+        (row, pairs)
+    })?;
+    let mut per: Vec<Vec<f64>> = vec![Vec::new(); REACHES.len() * 2];
+    let mut rows = Vec::new();
+    for (row, pairs) in per_workload {
         rows.push(row);
+        for (i, (s, bloat)) in pairs.into_iter().enumerate() {
+            per[i * 2].push(s);
+            per[i * 2 + 1].push(bloat);
+        }
     }
     let mut geo = vec!["geomean/avg".to_string()];
     for (i, _) in REACHES.iter().enumerate() {
@@ -46,5 +57,16 @@ fn main() {
         "ablation_fanout",
         "workload\tr10_speedup\tr10_bloat\tr30_speedup\tr30_bloat\tr50_speedup\tr50_bloat\tr70_speedup\tr70_bloat",
         &rows,
-    );
+    )?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

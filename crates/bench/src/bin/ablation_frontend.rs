@@ -1,58 +1,80 @@
 //! Ablation: post-fetch correction and GHR history mode, the two FDP
 //! improvements the paper adopts from Ishii et al.
 
-use swip_bench::Harness;
+use std::process::ExitCode;
+
+use swip_bench::{BenchError, SessionBuilder};
 use swip_branch::{DirectionKind, HistoryMode};
 use swip_core::{SimConfig, Simulator};
 use swip_types::geomean;
-use swip_workloads::generate;
 
-fn main() {
-    let h = Harness::from_env();
-    let mut series: Vec<(String, Vec<f64>)> = vec![
-        ("pfc+taken_only".into(), Vec::new()),
-        ("no_pfc".into(), Vec::new()),
-        ("full_history".into(), Vec::new()),
-        ("gshare".into(), Vec::new()),
-        ("tage_lite".into(), Vec::new()),
-    ];
-    let mut rows = Vec::new();
-    for spec in h.workloads() {
-        let trace = generate(&spec);
+const SERIES: [&str; 5] = [
+    "pfc+taken_only",
+    "no_pfc",
+    "full_history",
+    "gshare",
+    "tage_lite",
+];
+
+fn variants() -> [SimConfig; 5] {
+    let standard = SimConfig::sunny_cove_like();
+    let mut no_pfc = SimConfig::sunny_cove_like();
+    no_pfc.frontend.enable_pfc = false;
+    let mut full = SimConfig::sunny_cove_like();
+    full.frontend.branch.history_mode = HistoryMode::Full;
+    let mut gshare = SimConfig::sunny_cove_like();
+    gshare.frontend.branch.direction = DirectionKind::Gshare;
+    let mut tage = SimConfig::sunny_cove_like();
+    tage.frontend.branch.direction = DirectionKind::TageLite;
+    [standard, no_pfc, full, gshare, tage]
+}
+
+fn run() -> Result<(), BenchError> {
+    let session = SessionBuilder::from_env().build()?;
+    let specs = session.workloads();
+    let per_workload = session.par_map(&specs, |_, spec| {
+        let trace = session.trace(spec);
         let base = Simulator::new(SimConfig::conservative()).run(&trace);
-        let standard = SimConfig::sunny_cove_like();
-        let mut no_pfc = SimConfig::sunny_cove_like();
-        no_pfc.frontend.enable_pfc = false;
-        let mut full = SimConfig::sunny_cove_like();
-        full.frontend.branch.history_mode = HistoryMode::Full;
-        let mut gshare = SimConfig::sunny_cove_like();
-        gshare.frontend.branch.direction = DirectionKind::Gshare;
-        let mut tage = SimConfig::sunny_cove_like();
-        tage.frontend.branch.direction = DirectionKind::TageLite;
-        let mut cells = vec![spec.name.clone()];
-        for (i, cfg) in [standard, no_pfc, full, gshare, tage]
+        let speedups: Vec<f64> = variants()
             .into_iter()
-            .enumerate()
-        {
-            let s = Simulator::new(cfg).run(&trace).speedup_over(&base);
-            series[i].1.push(s);
-            cells.push(format!("{s:.4}"));
-        }
+            .map(|cfg| Simulator::new(cfg).run(&trace).speedup_over(&base))
+            .collect();
+        let mut cells = vec![spec.name.clone()];
+        cells.extend(speedups.iter().map(|s| format!("{s:.4}")));
         let row = cells.join("\t");
         eprintln!("{row}");
+        (row, speedups)
+    })?;
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); SERIES.len()];
+    let mut rows = Vec::new();
+    for (row, speedups) in per_workload {
         rows.push(row);
+        for (i, s) in speedups.into_iter().enumerate() {
+            series[i].push(s);
+        }
     }
     rows.push(format!(
         "geomean\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}",
-        geomean(&series[0].1),
-        geomean(&series[1].1),
-        geomean(&series[2].1),
-        geomean(&series[3].1),
-        geomean(&series[4].1)
+        geomean(&series[0]),
+        geomean(&series[1]),
+        geomean(&series[2]),
+        geomean(&series[3]),
+        geomean(&series[4])
     ));
     swip_bench::emit_tsv(
         "ablation_frontend",
         "workload\tpfc+taken_only\tno_pfc\tfull_history\tgshare\ttage_lite",
         &rows,
-    );
+    )?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

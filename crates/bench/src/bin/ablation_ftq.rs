@@ -1,30 +1,41 @@
 //! Ablation: FTQ depth sweep (the design axis separating the paper's
 //! conservative and industry-standard front-ends).
 
-use swip_bench::Harness;
+use std::process::ExitCode;
+
+use swip_bench::{BenchError, SessionBuilder};
 use swip_core::{SimConfig, Simulator};
 use swip_types::geomean;
-use swip_workloads::generate;
 
 const DEPTHS: [usize; 7] = [2, 4, 8, 12, 16, 24, 32];
 
-fn main() {
-    let h = Harness::from_env();
-    let mut per_depth: Vec<Vec<f64>> = vec![Vec::new(); DEPTHS.len()];
-    let mut rows = Vec::new();
-    for spec in h.workloads() {
-        let trace = generate(&spec);
+fn run() -> Result<(), BenchError> {
+    let session = SessionBuilder::from_env().build()?;
+    let specs = session.workloads();
+    let per_workload = session.par_map(&specs, |_, spec| {
+        let trace = session.trace(spec);
         let base = Simulator::new(SimConfig::conservative()).run(&trace);
+        let speedups: Vec<f64> = DEPTHS
+            .iter()
+            .map(|&d| {
+                Simulator::new(SimConfig::sunny_cove_like().with_ftq_entries(d))
+                    .run(&trace)
+                    .speedup_over(&base)
+            })
+            .collect();
         let mut cells = vec![spec.name.clone()];
-        for (i, &d) in DEPTHS.iter().enumerate() {
-            let r = Simulator::new(SimConfig::sunny_cove_like().with_ftq_entries(d)).run(&trace);
-            let s = r.speedup_over(&base);
-            per_depth[i].push(s);
-            cells.push(format!("{s:.4}"));
-        }
+        cells.extend(speedups.iter().map(|s| format!("{s:.4}")));
         let row = cells.join("\t");
         eprintln!("{row}");
+        (row, speedups)
+    })?;
+    let mut per_depth: Vec<Vec<f64>> = vec![Vec::new(); DEPTHS.len()];
+    let mut rows = Vec::new();
+    for (row, speedups) in per_workload {
         rows.push(row);
+        for (i, s) in speedups.into_iter().enumerate() {
+            per_depth[i].push(s);
+        }
     }
     let mut geo = vec!["geomean".to_string()];
     for v in &per_depth {
@@ -35,5 +46,16 @@ fn main() {
         "ablation_ftq",
         "workload\tftq2\tftq4\tftq8\tftq12\tftq16\tftq24\tftq32",
         &rows,
-    );
+    )?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -1,162 +1,28 @@
 //! Regenerates every figure of the paper in a single pass over the
-//! workload suite (one profile + six simulations per workload), emitting
-//! `fig1.tsv`, `fig7.tsv`, `fig8.tsv`, `fig9.tsv`, `fig10.tsv`,
-//! `fig11.tsv`, and `scenarios.tsv` together.
+//! workload suite (one trace generation + one AsmDB profile + six
+//! simulations per workload, parallelized over the session's thread
+//! pool), emitting `fig1.tsv`, `fig7.tsv`, `fig8.tsv`, `fig9.tsv`,
+//! `fig10.tsv`, `fig11.tsv`, and `scenarios.tsv` together.
 //!
-//! Use the individual `figN` binaries to regenerate one figure; this binary
-//! exists so the whole evaluation costs one suite sweep.
+//! Use the individual `figN` binaries to regenerate one figure; this
+//! binary exists so the whole evaluation costs one suite sweep.
 
-use swip_bench::{emit_tsv, Harness, WorkloadResults};
-use swip_core::SimReport;
-use swip_types::geomean;
+use std::process::ExitCode;
 
-fn main() {
-    let h = Harness::from_env();
-    let workloads = h.workloads();
-    eprintln!(
-        "running {} workloads × 7 simulations at {} instructions each",
-        workloads.len(),
-        h.instructions
-    );
-    let mut results: Vec<WorkloadResults> = Vec::new();
-    for (i, spec) in workloads.iter().enumerate() {
-        let r = h.run_workload(spec);
-        eprintln!(
-            "[{}/{}] {}  FDP24 {:.3}x  AsmDB+FDP {:.3}x",
-            i + 1,
-            workloads.len(),
-            r.name,
-            r.fdp.speedup_over(&r.base),
-            r.asmdb_fdp.speedup_over(&r.base)
-        );
-        results.push(r);
-    }
+use swip_bench::{figures, BenchError, SessionBuilder};
 
-    // Figure 1.
-    let mut rows = Vec::new();
-    let mut series: Vec<Vec<f64>> = vec![Vec::new(); 5];
-    for r in &results {
-        let s = r.fig1_series();
-        rows.push(format!(
-            "{}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}",
-            r.name, s[0].1, s[1].1, s[2].1, s[3].1, s[4].1
-        ));
-        for (i, (_, v)) in s.iter().enumerate() {
-            series[i].push(*v);
+fn run() -> Result<(), BenchError> {
+    let session = SessionBuilder::from_env().build()?;
+    figures::emit_all(&session)?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
         }
     }
-    rows.push(format!(
-        "geomean\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}",
-        geomean(&series[0]),
-        geomean(&series[1]),
-        geomean(&series[2]),
-        geomean(&series[3]),
-        geomean(&series[4])
-    ));
-    emit_tsv(
-        "fig1",
-        "workload\tAsmDB\tAsmDB-NoOv\tFDP24\tAsmDB+FDP\tAsmDB+FDP-NoOv",
-        &rows,
-    );
-
-    // Figure 7.
-    let mut rows = Vec::new();
-    let (mut s_sum, mut d_sum) = (0.0, 0.0);
-    for r in &results {
-        rows.push(format!(
-            "{}\t{:.4}\t{:.4}\t{}\t{}",
-            r.name,
-            r.bloat.static_bloat * 100.0,
-            r.bloat.dynamic_bloat * 100.0,
-            r.bloat.inserted_sites,
-            r.bloat.inserted_dynamic
-        ));
-        s_sum += r.bloat.static_bloat * 100.0;
-        d_sum += r.bloat.dynamic_bloat * 100.0;
-    }
-    let n = results.len().max(1) as f64;
-    rows.push(format!("average\t{:.4}\t{:.4}\t-\t-", s_sum / n, d_sum / n));
-    emit_tsv(
-        "fig7",
-        "workload\tstatic_bloat_pct\tdynamic_bloat_pct\tstatic_sites\tdynamic_prefetches",
-        &rows,
-    );
-
-    // Figure 8 (+ the §V.B access-count claim).
-    let mut rows = Vec::new();
-    let (mut acc2, mut acc24) = (0u64, 0u64);
-    for r in &results {
-        rows.push(format!(
-            "{}\t{:.2}\t{:.2}\t{:.2}\t{:.2}",
-            r.name,
-            r.fdp.frontend.head_fetch_cycles.mean(),
-            r.fdp.frontend.nonhead_fetch_cycles.mean(),
-            r.base.frontend.head_fetch_cycles.mean(),
-            r.base.frontend.nonhead_fetch_cycles.mean(),
-        ));
-        acc24 += r.fdp.frontend.line_requests.get();
-        acc2 += r.base.frontend.line_requests.get();
-    }
-    emit_tsv(
-        "fig8",
-        "workload\thead_cycles_ftq24\tnonhead_cycles_ftq24\thead_cycles_ftq2\tnonhead_cycles_ftq2",
-        &rows,
-    );
-    if acc2 > 0 {
-        println!(
-            "# L1-I line requests: FTQ24 issues {:.1}% fewer than FTQ2 (paper: ~14%)",
-            (1.0 - acc24 as f64 / acc2 as f64) * 100.0
-        );
-    }
-
-    // Figures 9, 10, 11: same six-column layout over different counters.
-    type CounterFn = fn(&SimReport) -> u64;
-    let counter_figs: [(&str, CounterFn); 3] = [
-        ("fig9", |r| r.frontend.head_stall_cycles.get()),
-        ("fig10", |r| r.frontend.entries_waiting_on_head.get()),
-        ("fig11", |r| r.frontend.partially_covered_entries.get()),
-    ];
-    for (name, get) in counter_figs {
-        let mut rows = Vec::new();
-        for r in &results {
-            rows.push(format!(
-                "{}\t{}\t{}\t{}\t{}\t{}\t{}",
-                r.name,
-                get(&r.base),
-                get(&r.asmdb_cons),
-                get(&r.asmdb_cons_noov),
-                get(&r.fdp),
-                get(&r.asmdb_fdp),
-                get(&r.asmdb_fdp_noov),
-            ));
-        }
-        emit_tsv(
-            name,
-            "workload\tftq2_fdp\tftq2_asmdb\tftq2_asmdb_noov\tftq24_fdp\tftq24_asmdb\tftq24_asmdb_noov",
-            &rows,
-        );
-    }
-
-    // Scenario taxonomy.
-    let mut rows = Vec::new();
-    for r in &results {
-        for (cfg, rep) in [
-            ("ftq2_fdp", &r.base),
-            ("ftq2_asmdb", &r.asmdb_cons),
-            ("ftq24_fdp", &r.fdp),
-            ("ftq24_asmdb", &r.asmdb_fdp),
-        ] {
-            let (s1, s2, s3, empty) = rep.frontend.scenario_fractions();
-            rows.push(format!(
-                "{}\t{}\t{:.4}\t{:.4}\t{:.4}\t{:.4}",
-                r.name, cfg, s1, s2, s3, empty
-            ));
-        }
-    }
-    emit_tsv("scenarios", "workload\tconfig\ts1\ts2\ts3\tempty", &rows);
-
-    // Headline numbers for EXPERIMENTS.md.
-    let mpki: f64 =
-        results.iter().map(|r| r.fdp.l1i_mpki).sum::<f64>() / results.len().max(1) as f64;
-    println!("# avg L1-I MPKI at 24-entry FTQ: {mpki:.2} (paper: 25.5)");
 }

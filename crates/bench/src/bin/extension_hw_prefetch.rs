@@ -1,23 +1,21 @@
 //! Extension: hardware instruction prefetching on top of the
-//! industry-standard FDP — next-line and an EIP-like entangling prefetcher
-//! (the hardware comparison point referenced by the paper's Fig. 1 caption)
-//! versus software prefetching (AsmDB, no-overhead).
+//! industry-standard FDP — next-line and an EIP-like entangling
+//! prefetcher (the hardware comparison point referenced by the paper's
+//! Fig. 1 caption) versus software prefetching (AsmDB, no-overhead).
 
-use swip_asmdb::Asmdb;
-use swip_bench::Harness;
+use std::process::ExitCode;
+
+use swip_bench::{BenchError, SessionBuilder};
 use swip_cache::EntanglingConfig;
 use swip_core::{SimConfig, Simulator};
 use swip_types::geomean;
-use swip_workloads::generate;
 
-fn main() {
-    let h = Harness::from_env();
-    let mut series: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    let mut rows = Vec::new();
-    for spec in h.workloads() {
-        let trace = generate(&spec);
-        let cons = SimConfig::conservative();
-        let base = Simulator::new(cons.clone()).run(&trace);
+fn run() -> Result<(), BenchError> {
+    let session = SessionBuilder::from_env().build()?;
+    let specs = session.workloads();
+    let per_workload = session.par_map(&specs, |_, spec| {
+        let trace = session.trace(spec);
+        let base = Simulator::new(SimConfig::conservative()).run(&trace);
 
         let fdp = SimConfig::sunny_cove_like();
         let mut fdp_nl = SimConfig::sunny_cove_like();
@@ -25,7 +23,7 @@ fn main() {
         let mut fdp_eip = SimConfig::sunny_cove_like();
         fdp_eip.memory.l1i_entangling = Some(EntanglingConfig::default());
 
-        let asmdb_out = Asmdb::new(h.asmdb.clone()).run(&trace, &cons);
+        let asmdb_out = session.asmdb(spec);
 
         let runs = [
             Simulator::new(fdp.clone()).run(&trace),
@@ -33,15 +31,20 @@ fn main() {
             Simulator::new(fdp_eip).run(&trace),
             Simulator::new(fdp).run_with_hints(&trace, &asmdb_out.hints),
         ];
+        let speedups: Vec<f64> = runs.iter().map(|r| r.speedup_over(&base)).collect();
         let mut cells = vec![spec.name.clone()];
-        for (i, r) in runs.iter().enumerate() {
-            let s = r.speedup_over(&base);
-            series[i].push(s);
-            cells.push(format!("{s:.4}"));
-        }
+        cells.extend(speedups.iter().map(|s| format!("{s:.4}")));
         let row = cells.join("\t");
         eprintln!("{row}");
+        (row, speedups)
+    })?;
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    let mut rows = Vec::new();
+    for (row, speedups) in per_workload {
         rows.push(row);
+        for (i, s) in speedups.into_iter().enumerate() {
+            series[i].push(s);
+        }
     }
     rows.push(format!(
         "geomean\t{:.4}\t{:.4}\t{:.4}\t{:.4}",
@@ -54,5 +57,16 @@ fn main() {
         "extension_hw_prefetch",
         "workload\tfdp\tfdp+nextline\tfdp+eip\tfdp+asmdb_noov",
         &rows,
-    );
+    )?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -1,33 +1,32 @@
 //! Extension (§VI): metadata preloading vs. instruction insertion.
 //!
 //! The paper proposes offsetting the insertion overhead by "allocating a
-//! portion of the binary to direct a hardware prefetcher", preloading that
-//! metadata "into dedicated hardware structures in the LLC", and checking
-//! it "on an access to the L1-I". This binary compares, on the
+//! portion of the binary to direct a hardware prefetcher", preloading
+//! that metadata "into dedicated hardware structures in the LLC", and
+//! checking it "on an access to the L1-I". This binary compares, on the
 //! industry-standard FDP:
 //!
 //! * baseline FDP,
 //! * AsmDB with inserted `prefetch.i` instructions,
 //! * AsmDB as no-overhead hints (the paper's idealized upper bound),
-//! * AsmDB as preloaded metadata (this extension: no instruction overhead,
-//!   but realistic trigger/metadata-latency limitations).
+//! * AsmDB as preloaded metadata (this extension: no instruction
+//!   overhead, but realistic trigger/metadata-latency limitations).
 
-use swip_asmdb::Asmdb;
-use swip_bench::Harness;
+use std::process::ExitCode;
+
+use swip_bench::{BenchError, SessionBuilder};
 use swip_core::{SimConfig, Simulator};
 use swip_frontend::PreloadConfig;
 use swip_types::geomean;
-use swip_workloads::generate;
 
-fn main() {
-    let h = Harness::from_env();
-    let mut series: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    let mut rows = Vec::new();
-    for spec in h.workloads() {
-        let trace = generate(&spec);
+fn run() -> Result<(), BenchError> {
+    let session = SessionBuilder::from_env().build()?;
+    let specs = session.workloads();
+    let per_workload = session.par_map(&specs, |_, spec| {
+        let trace = session.trace(spec);
         let cons = SimConfig::conservative();
         let fdp = SimConfig::sunny_cove_like();
-        let out = Asmdb::new(h.asmdb.clone()).run(&trace, &cons);
+        let out = session.asmdb(spec);
         let base = Simulator::new(cons).run(&trace);
         let runs = [
             Simulator::new(fdp.clone()).run(&trace),
@@ -39,16 +38,21 @@ fn main() {
                 PreloadConfig::default(),
             ),
         ];
+        let speedups: Vec<f64> = runs.iter().map(|r| r.speedup_over(&base)).collect();
         let mut cells = vec![spec.name.clone()];
-        for (i, r) in runs.iter().enumerate() {
-            let s = r.speedup_over(&base);
-            series[i].push(s);
-            cells.push(format!("{s:.4}"));
-        }
+        cells.extend(speedups.iter().map(|s| format!("{s:.4}")));
         cells.push(format!("{}", runs[3].frontend.swpf_preloaded.get()));
         let row = cells.join("\t");
         eprintln!("{row}");
+        (row, speedups)
+    })?;
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    let mut rows = Vec::new();
+    for (row, speedups) in per_workload {
         rows.push(row);
+        for (i, s) in speedups.into_iter().enumerate() {
+            series[i].push(s);
+        }
     }
     rows.push(format!(
         "geomean\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t-",
@@ -61,5 +65,16 @@ fn main() {
         "extension_preload",
         "workload\tfdp\tasmdb_instr\tasmdb_hints\tasmdb_preload\tpreload_prefetches",
         &rows,
-    );
+    )?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -3,24 +3,25 @@
 //! The paper proposes "periodically updating an application's binary to
 //! increase or decrease the number of prefetches inserted depending on
 //! their performance impact". This binary implements that loop: starting
-//! from the default tuning, each round evaluates the rewritten trace on the
-//! industry-standard FDP; if it does not beat the previous round, the
+//! from the default tuning, each round evaluates the rewritten trace on
+//! the industry-standard FDP; if it does not beat the previous round, the
 //! insertion aggressiveness is cut (higher reach threshold, fewer sites)
 //! and AsmDB re-plans.
 
-use swip_asmdb::Asmdb;
-use swip_bench::Harness;
-use swip_core::{SimConfig, Simulator};
-use swip_workloads::generate;
+use std::process::ExitCode;
 
-fn main() {
-    let h = Harness::from_env();
-    let mut rows = Vec::new();
-    for spec in h.workloads() {
-        let trace = generate(&spec);
+use swip_asmdb::Asmdb;
+use swip_bench::{BenchError, SessionBuilder};
+use swip_core::{SimConfig, Simulator};
+
+fn run() -> Result<(), BenchError> {
+    let session = SessionBuilder::from_env().build()?;
+    let specs = session.workloads();
+    let rows = session.par_map(&specs, |_, spec| {
+        let trace = session.trace(spec);
         let fdp = SimConfig::sunny_cove_like();
         let baseline = Simulator::new(fdp.clone()).run(&trace);
-        let mut config = h.asmdb.clone();
+        let mut config = session.asmdb_config().clone();
         let mut best = baseline.effective_ipc;
         let mut best_round = 0usize;
         let mut cells = vec![spec.name.clone(), format!("{:.4}", baseline.effective_ipc)];
@@ -40,11 +41,22 @@ fn main() {
         cells.push(format!("round{best_round}"));
         let row = cells.join("\t");
         eprintln!("{row}");
-        rows.push(row);
-    }
+        row
+    })?;
     swip_bench::emit_tsv(
         "feedback",
         "workload\tfdp_ipc\tround1_ipc\tround2_ipc\tround3_ipc\tbest",
         &rows,
-    );
+    )?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -3,41 +3,24 @@
 //!
 //! Also prints the §IV sanity row: average L1-I MPKI at the 24-entry FTQ.
 
-use swip_bench::Harness;
-use swip_types::geomean;
+use std::process::ExitCode;
 
-fn main() {
-    let h = Harness::from_env();
-    let mut rows = Vec::new();
-    let mut series: Vec<Vec<f64>> = vec![Vec::new(); 5];
-    let mut mpki = Vec::new();
-    for spec in h.workloads() {
-        let r = h.run_workload(&spec);
-        let s = r.fig1_series();
-        let row = format!(
-            "{}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}",
-            r.name, s[0].1, s[1].1, s[2].1, s[3].1, s[4].1
-        );
-        eprintln!("{row}");
-        rows.push(row);
-        for (i, (_, v)) in s.iter().enumerate() {
-            series[i].push(*v);
+use swip_bench::{figures, BenchError, ExperimentPlan, SessionBuilder};
+
+fn run() -> Result<(), BenchError> {
+    let session = SessionBuilder::from_env().build()?;
+    let plan = ExperimentPlan::all_figures(session.workloads());
+    let results = session.run_streaming(&plan, |r| eprintln!("{}", figures::fig1_row(r)))?;
+    figures::emit_fig1(&results)?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
         }
-        mpki.push(r.fdp.l1i_mpki);
     }
-    rows.push(format!(
-        "geomean\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}",
-        geomean(&series[0]),
-        geomean(&series[1]),
-        geomean(&series[2]),
-        geomean(&series[3]),
-        geomean(&series[4])
-    ));
-    swip_bench::emit_tsv(
-        "fig1",
-        "workload\tAsmDB\tAsmDB-NoOv\tFDP24\tAsmDB+FDP\tAsmDB+FDP-NoOv",
-        &rows,
-    );
-    let avg_mpki: f64 = mpki.iter().sum::<f64>() / mpki.len().max(1) as f64;
-    println!("# avg L1-I MPKI at 24-entry FTQ: {avg_mpki:.2} (paper: 25.5)");
 }

@@ -1,31 +1,27 @@
-//! Regenerates Fig11: FTQ entries reaching the head position while still fetching, for the 2-entry (a) and 24-entry (b)
-//! front-ends, under baseline FDP, AsmDB+FDP, and AsmDB+FDP with no
-//! insertion overhead. Counts are raw for the configured instruction budget
-//! (the paper plots the same counters over 100 M instructions).
+//! Regenerates Fig11: FTQ entries reaching the head position while still
+//! fetching, for the 2-entry (a) and 24-entry (b) front-ends, under
+//! baseline FDP, AsmDB+FDP, and AsmDB+FDP with no insertion overhead.
+//! Counts are raw for the configured instruction budget (the paper plots
+//! the same counters over 100 M instructions).
 
-use swip_bench::Harness;
+use std::process::ExitCode;
 
-fn main() {
-    let h = Harness::from_env();
-    let mut rows = Vec::new();
-    for spec in h.workloads() {
-        let r = h.run_workload(&spec);
-        let row = format!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
-            r.name,
-            r.base.frontend.partially_covered_entries,
-            r.asmdb_cons.frontend.partially_covered_entries,
-            r.asmdb_cons_noov.frontend.partially_covered_entries,
-            r.fdp.frontend.partially_covered_entries,
-            r.asmdb_fdp.frontend.partially_covered_entries,
-            r.asmdb_fdp_noov.frontend.partially_covered_entries,
-        );
-        eprintln!("{row}");
-        rows.push(row);
+use swip_bench::{figures, BenchError, ExperimentPlan, SessionBuilder};
+
+fn run() -> Result<(), BenchError> {
+    let session = SessionBuilder::from_env().build()?;
+    let plan = ExperimentPlan::all_figures(session.workloads());
+    let results = session.run(&plan)?;
+    figures::emit_fig11(&results)?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
-    swip_bench::emit_tsv(
-        "fig11",
-        "workload\tftq2_fdp\tftq2_asmdb\tftq2_asmdb_noov\tftq24_fdp\tftq24_asmdb\tftq24_asmdb_noov",
-        &rows,
-    );
 }

@@ -1,35 +1,24 @@
-//! Regenerates Figure 7: static (7a) and dynamic (7b) code bloat of AsmDB.
+//! Regenerates Figure 7: static (7a) and dynamic (7b) code bloat of
+//! AsmDB. Runs only the AsmDB pipeline per workload — no evaluation
+//! simulations are needed for this figure.
 
-use swip_bench::Harness;
+use std::process::ExitCode;
 
-fn main() {
-    let h = Harness::from_env();
-    let mut rows = Vec::new();
-    let (mut s_sum, mut d_sum, mut n) = (0.0, 0.0, 0u32);
-    for spec in h.workloads() {
-        let r = h.run_workload(&spec);
-        let row = format!(
-            "{}\t{:.4}\t{:.4}\t{}\t{}",
-            r.name,
-            r.bloat.static_bloat * 100.0,
-            r.bloat.dynamic_bloat * 100.0,
-            r.bloat.inserted_sites,
-            r.bloat.inserted_dynamic
-        );
-        eprintln!("{row}");
-        rows.push(row);
-        s_sum += r.bloat.static_bloat * 100.0;
-        d_sum += r.bloat.dynamic_bloat * 100.0;
-        n += 1;
+use swip_bench::{figures, BenchError, SessionBuilder};
+
+fn run() -> Result<(), BenchError> {
+    let session = SessionBuilder::from_env().build()?;
+    let bloats = figures::bloat_sweep(&session)?;
+    figures::emit_fig7(&bloats)?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
-    rows.push(format!(
-        "average\t{:.4}\t{:.4}\t-\t-",
-        s_sum / n.max(1) as f64,
-        d_sum / n.max(1) as f64
-    ));
-    swip_bench::emit_tsv(
-        "fig7",
-        "workload\tstatic_bloat_pct\tdynamic_bloat_pct\tstatic_sites\tdynamic_prefetches",
-        &rows,
-    );
 }

@@ -1,37 +1,26 @@
 //! Regenerates Figure 8: average cycles to fetch a head FTQ entry vs a
 //! non-head entry, for the 24-entry and 2-entry front-ends; plus the §V.B
-//! claim that the deeper FTQ issues fewer L1-I accesses.
+//! claim that the deeper FTQ issues fewer L1-I accesses. Only the two
+//! baseline configurations are simulated.
 
-use swip_bench::Harness;
+use std::process::ExitCode;
 
-fn main() {
-    let h = Harness::from_env();
-    let mut rows = Vec::new();
-    let (mut acc2, mut acc24) = (0u64, 0u64);
-    for spec in h.workloads() {
-        let r = h.run_workload(&spec);
-        let row = format!(
-            "{}\t{:.2}\t{:.2}\t{:.2}\t{:.2}",
-            r.name,
-            r.fdp.frontend.head_fetch_cycles.mean(),
-            r.fdp.frontend.nonhead_fetch_cycles.mean(),
-            r.base.frontend.head_fetch_cycles.mean(),
-            r.base.frontend.nonhead_fetch_cycles.mean(),
-        );
-        eprintln!("{row}");
-        rows.push(row);
-        acc24 += r.fdp.frontend.line_requests.get();
-        acc2 += r.base.frontend.line_requests.get();
-    }
-    swip_bench::emit_tsv(
-        "fig8",
-        "workload\thead_cycles_ftq24\tnonhead_cycles_ftq24\thead_cycles_ftq2\tnonhead_cycles_ftq2",
-        &rows,
-    );
-    if acc2 > 0 {
-        println!(
-            "# L1-I line requests: FTQ24 issues {:.1}% fewer than FTQ2 (paper: ~14%)",
-            (1.0 - acc24 as f64 / acc2 as f64) * 100.0
-        );
+use swip_bench::{figures, BenchError, ExperimentPlan, SessionBuilder};
+
+fn run() -> Result<(), BenchError> {
+    let session = SessionBuilder::from_env().build()?;
+    let plan = ExperimentPlan::new(session.workloads(), &figures::FIG8_CONFIGS);
+    let results = session.run(&plan)?;
+    figures::emit_fig8(&results)?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }

@@ -1,31 +1,27 @@
-//! Regenerates Fig9: stall cycles incurred by the head FTQ entry, for the 2-entry (a) and 24-entry (b)
-//! front-ends, under baseline FDP, AsmDB+FDP, and AsmDB+FDP with no
-//! insertion overhead. Counts are raw for the configured instruction budget
-//! (the paper plots the same counters over 100 M instructions).
+//! Regenerates Fig9: stall cycles incurred by the head FTQ entry, for the
+//! 2-entry (a) and 24-entry (b) front-ends, under baseline FDP, AsmDB+FDP,
+//! and AsmDB+FDP with no insertion overhead. Counts are raw for the
+//! configured instruction budget (the paper plots the same counters over
+//! 100 M instructions).
 
-use swip_bench::Harness;
+use std::process::ExitCode;
 
-fn main() {
-    let h = Harness::from_env();
-    let mut rows = Vec::new();
-    for spec in h.workloads() {
-        let r = h.run_workload(&spec);
-        let row = format!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
-            r.name,
-            r.base.frontend.head_stall_cycles,
-            r.asmdb_cons.frontend.head_stall_cycles,
-            r.asmdb_cons_noov.frontend.head_stall_cycles,
-            r.fdp.frontend.head_stall_cycles,
-            r.asmdb_fdp.frontend.head_stall_cycles,
-            r.asmdb_fdp_noov.frontend.head_stall_cycles,
-        );
-        eprintln!("{row}");
-        rows.push(row);
+use swip_bench::{figures, BenchError, ExperimentPlan, SessionBuilder};
+
+fn run() -> Result<(), BenchError> {
+    let session = SessionBuilder::from_env().build()?;
+    let plan = ExperimentPlan::all_figures(session.workloads());
+    let results = session.run(&plan)?;
+    figures::emit_fig9(&results)?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
-    swip_bench::emit_tsv(
-        "fig9",
-        "workload\tftq2_fdp\tftq2_asmdb\tftq2_asmdb_noov\tftq24_fdp\tftq24_asmdb\tftq24_asmdb_noov",
-        &rows,
-    );
 }

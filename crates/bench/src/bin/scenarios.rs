@@ -1,26 +1,24 @@
-//! Section III support: the per-cycle FTQ-state taxonomy (Scenarios 1/2/3)
-//! under each configuration.
+//! Section III support: the per-cycle FTQ-state taxonomy (Scenarios
+//! 1/2/3) under each configuration.
 
-use swip_bench::Harness;
+use std::process::ExitCode;
 
-fn main() {
-    let h = Harness::from_env();
-    let mut rows = Vec::new();
-    for spec in h.workloads() {
-        let r = h.run_workload(&spec);
-        for (cfg, rep) in [
-            ("ftq2_fdp", &r.base),
-            ("ftq2_asmdb", &r.asmdb_cons),
-            ("ftq24_fdp", &r.fdp),
-            ("ftq24_asmdb", &r.asmdb_fdp),
-        ] {
-            let (s1, s2, s3, empty) = rep.frontend.scenario_fractions();
-            rows.push(format!(
-                "{}\t{}\t{:.4}\t{:.4}\t{:.4}\t{:.4}",
-                r.name, cfg, s1, s2, s3, empty
-            ));
+use swip_bench::{figures, BenchError, ExperimentPlan, SessionBuilder};
+
+fn run() -> Result<(), BenchError> {
+    let session = SessionBuilder::from_env().build()?;
+    let plan = ExperimentPlan::new(session.workloads(), &figures::SCENARIO_CONFIGS);
+    let results = session.run_streaming(&plan, |r| eprintln!("done {}", r.name()))?;
+    figures::emit_scenarios(&results)?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
         }
-        eprintln!("done {}", r.name);
     }
-    swip_bench::emit_tsv("scenarios", "workload\tconfig\ts1\ts2\ts3\tempty", &rows);
 }

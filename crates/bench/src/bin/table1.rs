@@ -1,15 +1,13 @@
 //! Regenerates Table I: the simulation parameters.
 
-use swip_core::SimConfig;
+use std::process::ExitCode;
 
-fn main() {
-    let mut rows = Vec::new();
-    for (k, v) in SimConfig::sunny_cove_like().table_rows() {
-        rows.push(format!("{k}\t{v}"));
+fn main() -> ExitCode {
+    match swip_bench::figures::emit_table1() {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
-    rows.push(format!(
-        "FTQ (conservative)\t{} entries",
-        SimConfig::conservative().frontend.ftq_entries
-    ));
-    swip_bench::emit_tsv("table1", "parameter\tvalue", &rows);
 }

@@ -1,0 +1,160 @@
+//! The experiment configuration axis: the paper's six simulation
+//! configurations and the named AsmDB tunings.
+
+use swip_asmdb::AsmdbConfig;
+use swip_core::SimConfig;
+
+/// One of the six simulation configurations behind the paper's figures.
+///
+/// The first three run on the conservative 2-entry-FTQ front-end, the last
+/// three on the industry-standard 24-entry-FTQ FDP. `Asmdb*` variants
+/// simulate the AsmDB-rewritten trace; `*Noov` variants simulate the
+/// original trace with no-overhead prefetch hints.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ConfigId {
+    /// Conservative baseline (2-entry FTQ FDP).
+    Base,
+    /// AsmDB on the conservative front-end.
+    AsmdbCons,
+    /// AsmDB with no insertion overhead on the conservative front-end.
+    AsmdbConsNoov,
+    /// Industry-standard FDP (24-entry FTQ).
+    Fdp,
+    /// AsmDB on the industry-standard FDP.
+    AsmdbFdp,
+    /// AsmDB with no insertion overhead on the industry-standard FDP.
+    AsmdbFdpNoov,
+}
+
+impl ConfigId {
+    /// All six configurations, in the canonical (figure-column) order.
+    pub const ALL: [ConfigId; 6] = [
+        ConfigId::Base,
+        ConfigId::AsmdbCons,
+        ConfigId::AsmdbConsNoov,
+        ConfigId::Fdp,
+        ConfigId::AsmdbFdp,
+        ConfigId::AsmdbFdpNoov,
+    ];
+
+    /// Stable index into the canonical order (0–5).
+    pub fn index(self) -> usize {
+        match self {
+            ConfigId::Base => 0,
+            ConfigId::AsmdbCons => 1,
+            ConfigId::AsmdbConsNoov => 2,
+            ConfigId::Fdp => 3,
+            ConfigId::AsmdbFdp => 4,
+            ConfigId::AsmdbFdpNoov => 5,
+        }
+    }
+
+    /// Short label used in progress lines and TSV columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            ConfigId::Base => "ftq2_fdp",
+            ConfigId::AsmdbCons => "ftq2_asmdb",
+            ConfigId::AsmdbConsNoov => "ftq2_asmdb_noov",
+            ConfigId::Fdp => "ftq24_fdp",
+            ConfigId::AsmdbFdp => "ftq24_asmdb",
+            ConfigId::AsmdbFdpNoov => "ftq24_asmdb_noov",
+        }
+    }
+
+    /// Whether this configuration consumes the AsmDB pipeline's output
+    /// (rewritten trace or no-overhead hints).
+    pub fn needs_asmdb(self) -> bool {
+        !matches!(self, ConfigId::Base | ConfigId::Fdp)
+    }
+
+    /// The simulator configuration this runs under.
+    pub fn sim_config(self) -> SimConfig {
+        match self {
+            ConfigId::Base | ConfigId::AsmdbCons | ConfigId::AsmdbConsNoov => {
+                SimConfig::conservative()
+            }
+            ConfigId::Fdp | ConfigId::AsmdbFdp | ConfigId::AsmdbFdpNoov => {
+                SimConfig::sunny_cove_like()
+            }
+        }
+    }
+}
+
+/// Named AsmDB tunings selectable from the CLI and the `SWIP_ASMDB` shim.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum AsmdbTuning {
+    /// The paper-default tuning ([`AsmdbConfig::default`]).
+    #[default]
+    Default,
+    /// Lower reach threshold, more sites per target
+    /// ([`AsmdbConfig::aggressive`]).
+    Aggressive,
+    /// Wider windows and lower thresholds still (brackets the paper's
+    /// operating point from above; see EXPERIMENTS.md).
+    Wide,
+}
+
+impl AsmdbTuning {
+    /// Parses a tuning name (`default` / `aggressive` / `wide`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "default" => Some(AsmdbTuning::Default),
+            "aggressive" => Some(AsmdbTuning::Aggressive),
+            "wide" => Some(AsmdbTuning::Wide),
+            _ => None,
+        }
+    }
+
+    /// The tuning's concrete knob values.
+    pub fn config(self) -> AsmdbConfig {
+        match self {
+            AsmdbTuning::Default => AsmdbConfig::default(),
+            AsmdbTuning::Aggressive => AsmdbConfig::aggressive(),
+            AsmdbTuning::Wide => AsmdbConfig {
+                min_reach: 0.25,
+                max_sites_per_target: 3,
+                window_factor: 8,
+                miss_coverage: 0.95,
+                min_misses: 4,
+                ..AsmdbConfig::default()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_order_is_self_consistent() {
+        for (i, id) in ConfigId::ALL.iter().enumerate() {
+            assert_eq!(id.index(), i);
+        }
+    }
+
+    #[test]
+    fn asmdb_need_matches_variants() {
+        assert!(!ConfigId::Base.needs_asmdb());
+        assert!(!ConfigId::Fdp.needs_asmdb());
+        assert!(ConfigId::AsmdbCons.needs_asmdb());
+        assert!(ConfigId::AsmdbFdpNoov.needs_asmdb());
+    }
+
+    #[test]
+    fn ftq_depth_per_config() {
+        assert_eq!(ConfigId::Base.sim_config().frontend.ftq_entries, 2);
+        assert_eq!(ConfigId::AsmdbFdp.sim_config().frontend.ftq_entries, 24);
+    }
+
+    #[test]
+    fn tuning_names_round_trip() {
+        assert_eq!(AsmdbTuning::parse("default"), Some(AsmdbTuning::Default));
+        assert_eq!(
+            AsmdbTuning::parse("aggressive"),
+            Some(AsmdbTuning::Aggressive)
+        );
+        assert_eq!(AsmdbTuning::parse("wide"), Some(AsmdbTuning::Wide));
+        assert_eq!(AsmdbTuning::parse("bogus"), None);
+    }
+}

@@ -1,0 +1,255 @@
+//! The parallel job engine: a self-scheduling `std::thread` pool (idle
+//! workers steal the next unclaimed job from a shared index — no external
+//! dependencies) with panic containment and deterministic, ordered result
+//! streaming.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex, PoisonError};
+use std::time::Instant;
+
+use swip_core::SimReport;
+
+use crate::{ConfigId, ExperimentPlan, Session, WorkloadResults};
+
+/// A failure while executing jobs on the pool.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A worker panicked while running a job. The session fails cleanly —
+    /// remaining queued jobs are abandoned and all workers are joined —
+    /// instead of hanging or aborting the process.
+    JobPanicked {
+        /// Which job panicked (workload/config, or the item index for
+        /// [`Session::par_map`] jobs).
+        label: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::JobPanicked { label, message } => {
+                write!(f, "job {label} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `n_jobs` jobs on up to `threads` workers. Workers claim jobs from
+/// a shared atomic cursor; each completed job is handed to `on_done` on
+/// the calling thread, in completion order. The first panicking job stops
+/// further claims and surfaces as an [`EngineError::JobPanicked`].
+fn pool_run<T: Send>(
+    threads: usize,
+    n_jobs: usize,
+    job: impl Fn(usize) -> T + Sync,
+    label: impl Fn(usize) -> String + Sync,
+    mut on_done: impl FnMut(usize, T),
+) -> Result<(), EngineError> {
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let panicked: Mutex<Option<(String, String)>> = Mutex::new(None);
+    let workers = threads.min(n_jobs).max(1);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let (job, label, next, abort, panicked) = (&job, &label, &next, &abort, &panicked);
+            s.spawn(move || loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_jobs {
+                    break;
+                }
+                match catch_unwind(AssertUnwindSafe(|| job(i))) {
+                    Ok(v) => {
+                        if tx.send((i, v)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(payload) => {
+                        abort.store(true, Ordering::Relaxed);
+                        let mut slot = panicked.lock().unwrap_or_else(PoisonError::into_inner);
+                        if slot.is_none() {
+                            *slot = Some((label(i), panic_message(payload.as_ref())));
+                        }
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (i, v) in rx {
+            on_done(i, v);
+        }
+    });
+    match panicked
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+    {
+        Some((label, message)) => Err(EngineError::JobPanicked { label, message }),
+        None => Ok(()),
+    }
+}
+
+/// Per-workload accumulation while that workload's jobs are in flight.
+struct PendingWorkload {
+    reports: [Option<SimReport>; 6],
+    seconds: f64,
+    remaining: usize,
+}
+
+impl Session {
+    /// Executes `plan` on the session's thread pool and returns one
+    /// [`WorkloadResults`] per plan workload, in plan order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::JobPanicked`] if any job panicked.
+    pub fn run(&self, plan: &ExperimentPlan) -> Result<Vec<WorkloadResults>, EngineError> {
+        self.run_streaming(plan, |_| {})
+    }
+
+    /// Like [`Session::run`], but additionally streams each workload's
+    /// assembled results to `on_result` — in deterministic plan order, as
+    /// soon as all of that workload's jobs (and all earlier workloads')
+    /// have completed. Out-of-order completions are buffered, so the
+    /// callback sees exactly the same sequence regardless of thread count.
+    ///
+    /// Each job logs a `[k/N] workload/config <seconds>s` progress line on
+    /// stderr as it finishes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::JobPanicked`] if any job panicked.
+    pub fn run_streaming<F>(
+        &self,
+        plan: &ExperimentPlan,
+        mut on_result: F,
+    ) -> Result<Vec<WorkloadResults>, EngineError>
+    where
+        F: FnMut(&WorkloadResults),
+    {
+        let jobs = plan.jobs();
+        let total = jobs.len();
+        let workloads = plan.workloads();
+        let n_configs = plan.configs().len();
+        let done = AtomicUsize::new(0);
+
+        let mut pending: Vec<PendingWorkload> = workloads
+            .iter()
+            .map(|_| PendingWorkload {
+                reports: Default::default(),
+                seconds: 0.0,
+                remaining: n_configs,
+            })
+            .collect();
+        let mut results: Vec<WorkloadResults> = Vec::with_capacity(workloads.len());
+        let mut next_emit = 0usize;
+
+        pool_run(
+            self.threads,
+            total,
+            |j| {
+                let (w, id) = jobs[j];
+                let spec = &workloads[w];
+                let start = Instant::now();
+                let report = self.run_job(spec, id);
+                let seconds = start.elapsed().as_secs_f64();
+                let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!("[{k}/{total}] {}/{} {seconds:.2}s", spec.name, id.label());
+                (id, report, seconds)
+            },
+            |j| {
+                let (w, id) = jobs[j];
+                format!("{}/{}", workloads[w].name, id.label())
+            },
+            |j, (id, report, seconds)| {
+                let (w, _) = jobs[j];
+                {
+                    let p = &mut pending[w];
+                    p.reports[id.index()] = Some(report);
+                    p.seconds += seconds;
+                    p.remaining -= 1;
+                }
+                while next_emit < workloads.len() && pending[next_emit].remaining == 0 {
+                    let p = &mut pending[next_emit];
+                    let spec = &workloads[next_emit];
+                    let bloat = plan.wants_asmdb().then(|| self.asmdb(spec).report);
+                    let wr = WorkloadResults {
+                        name: spec.name.clone(),
+                        bloat,
+                        reports: std::mem::take(&mut p.reports),
+                        job_seconds: p.seconds,
+                    };
+                    on_result(&wr);
+                    results.push(wr);
+                    next_emit += 1;
+                }
+            },
+        )?;
+        Ok(results)
+    }
+
+    /// Maps `f` over `items` on the session's thread pool, returning the
+    /// outputs in input order. `f` runs on worker threads and may use the
+    /// session's memoized [`trace`](Session::trace) /
+    /// [`asmdb`](Session::asmdb) artifacts freely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::JobPanicked`] if `f` panicked on any item;
+    /// the pool shuts down cleanly instead of hanging.
+    pub fn par_map<I, T, F>(&self, items: &[I], f: F) -> Result<Vec<T>, EngineError>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        let mut slots: Vec<Option<T>> = items.iter().map(|_| None).collect();
+        pool_run(
+            self.threads,
+            items.len(),
+            |i| f(i, &items[i]),
+            |i| format!("item {i}"),
+            |i, v| slots[i] = Some(v),
+        )?;
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("job completed"))
+            .collect())
+    }
+}
+
+// The engine requires the simulation stack to be thread-safe; these
+// assertions fail to compile if a non-Send/Sync type (Rc, RefCell, raw
+// pointer) sneaks into any of the shared structures.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Session>();
+    assert_send_sync::<ExperimentPlan>();
+    assert_send_sync::<WorkloadResults>();
+    assert_send_sync::<ConfigId>();
+    assert_send_sync::<swip_core::Simulator>();
+    assert_send_sync::<swip_core::SimConfig>();
+    assert_send_sync::<swip_core::SimReport>();
+    assert_send_sync::<swip_trace::Trace>();
+    assert_send_sync::<swip_asmdb::AsmdbOutput>();
+};

@@ -1,0 +1,279 @@
+//! Shared figure emitters: one row-builder + TSV writer per paper figure,
+//! used by both the per-figure binaries and `swip bench` / `allfigs`, so
+//! every caller produces byte-identical TSVs.
+
+use std::io;
+use std::path::PathBuf;
+
+use swip_asmdb::RewriteReport;
+use swip_core::{SimConfig, SimReport};
+use swip_types::geomean;
+
+use crate::{emit_tsv, BenchError, ConfigId, ExperimentPlan, Session, WorkloadResults};
+
+/// The configurations Figure 8 needs (baseline front-ends only).
+pub const FIG8_CONFIGS: [ConfigId; 2] = [ConfigId::Base, ConfigId::Fdp];
+
+/// The configurations the scenario-taxonomy table needs.
+pub const SCENARIO_CONFIGS: [ConfigId; 4] = [
+    ConfigId::Base,
+    ConfigId::AsmdbCons,
+    ConfigId::Fdp,
+    ConfigId::AsmdbFdp,
+];
+
+/// Formats one workload's Figure-1 row (name + five speedup columns).
+pub fn fig1_row(r: &WorkloadResults) -> String {
+    let s = r.fig1_series();
+    format!(
+        "{}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}",
+        r.name(),
+        s[0].1,
+        s[1].1,
+        s[2].1,
+        s[3].1,
+        s[4].1
+    )
+}
+
+/// Emits `fig1.tsv` (five speedup series + geomean) and prints the §IV
+/// sanity row (average L1-I MPKI at the 24-entry FTQ) to stdout.
+pub fn emit_fig1(results: &[WorkloadResults]) -> io::Result<PathBuf> {
+    let mut rows = Vec::new();
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    for r in results {
+        rows.push(fig1_row(r));
+        for (i, (_, v)) in r.fig1_series().iter().enumerate() {
+            series[i].push(*v);
+        }
+    }
+    rows.push(format!(
+        "geomean\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}",
+        geomean(&series[0]),
+        geomean(&series[1]),
+        geomean(&series[2]),
+        geomean(&series[3]),
+        geomean(&series[4])
+    ));
+    let path = emit_tsv(
+        "fig1",
+        "workload\tAsmDB\tAsmDB-NoOv\tFDP24\tAsmDB+FDP\tAsmDB+FDP-NoOv",
+        &rows,
+    )?;
+    let mpki: f64 =
+        results.iter().map(|r| r.fdp().l1i_mpki).sum::<f64>() / results.len().max(1) as f64;
+    println!("# avg L1-I MPKI at 24-entry FTQ: {mpki:.2} (paper: 25.5)");
+    Ok(path)
+}
+
+/// Formats one workload's Figure-7 (bloat) row.
+pub fn fig7_row(name: &str, bloat: &RewriteReport) -> String {
+    format!(
+        "{}\t{:.4}\t{:.4}\t{}\t{}",
+        name,
+        bloat.static_bloat * 100.0,
+        bloat.dynamic_bloat * 100.0,
+        bloat.inserted_sites,
+        bloat.inserted_dynamic
+    )
+}
+
+/// Emits `fig7.tsv` (static/dynamic code bloat + suite averages).
+pub fn emit_fig7(bloats: &[(String, RewriteReport)]) -> io::Result<PathBuf> {
+    let mut rows = Vec::new();
+    let (mut s_sum, mut d_sum) = (0.0, 0.0);
+    for (name, bloat) in bloats {
+        rows.push(fig7_row(name, bloat));
+        s_sum += bloat.static_bloat * 100.0;
+        d_sum += bloat.dynamic_bloat * 100.0;
+    }
+    let n = bloats.len().max(1) as f64;
+    rows.push(format!("average\t{:.4}\t{:.4}\t-\t-", s_sum / n, d_sum / n));
+    emit_tsv(
+        "fig7",
+        "workload\tstatic_bloat_pct\tdynamic_bloat_pct\tstatic_sites\tdynamic_prefetches",
+        &rows,
+    )
+}
+
+/// Emits `fig8.tsv` (head vs non-head fetch cycles) and prints the §V.B
+/// line-request comparison to stdout.
+pub fn emit_fig8(results: &[WorkloadResults]) -> io::Result<PathBuf> {
+    let mut rows = Vec::new();
+    let (mut acc2, mut acc24) = (0u64, 0u64);
+    for r in results {
+        rows.push(format!(
+            "{}\t{:.2}\t{:.2}\t{:.2}\t{:.2}",
+            r.name(),
+            r.fdp().frontend.head_fetch_cycles.mean(),
+            r.fdp().frontend.nonhead_fetch_cycles.mean(),
+            r.base().frontend.head_fetch_cycles.mean(),
+            r.base().frontend.nonhead_fetch_cycles.mean(),
+        ));
+        acc24 += r.fdp().frontend.line_requests.get();
+        acc2 += r.base().frontend.line_requests.get();
+    }
+    let path = emit_tsv(
+        "fig8",
+        "workload\thead_cycles_ftq24\tnonhead_cycles_ftq24\thead_cycles_ftq2\tnonhead_cycles_ftq2",
+        &rows,
+    )?;
+    if acc2 > 0 {
+        println!(
+            "# L1-I line requests: FTQ24 issues {:.1}% fewer than FTQ2 (paper: ~14%)",
+            (1.0 - acc24 as f64 / acc2 as f64) * 100.0
+        );
+    }
+    Ok(path)
+}
+
+/// Emits one of the six-column counter figures (9, 10, 11).
+fn emit_counter_fig(
+    name: &str,
+    results: &[WorkloadResults],
+    get: fn(&SimReport) -> u64,
+) -> io::Result<PathBuf> {
+    let mut rows = Vec::new();
+    for r in results {
+        rows.push(format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            r.name(),
+            get(r.base()),
+            get(r.asmdb_cons()),
+            get(r.asmdb_cons_noov()),
+            get(r.fdp()),
+            get(r.asmdb_fdp()),
+            get(r.asmdb_fdp_noov()),
+        ));
+    }
+    emit_tsv(
+        name,
+        "workload\tftq2_fdp\tftq2_asmdb\tftq2_asmdb_noov\tftq24_fdp\tftq24_asmdb\tftq24_asmdb_noov",
+        &rows,
+    )
+}
+
+/// Emits `fig9.tsv`: stall cycles incurred by the head FTQ entry.
+pub fn emit_fig9(results: &[WorkloadResults]) -> io::Result<PathBuf> {
+    emit_counter_fig("fig9", results, |r| r.frontend.head_stall_cycles.get())
+}
+
+/// Emits `fig10.tsv`: FTQ entries forced to wait on a stalling head.
+pub fn emit_fig10(results: &[WorkloadResults]) -> io::Result<PathBuf> {
+    emit_counter_fig("fig10", results, |r| {
+        r.frontend.entries_waiting_on_head.get()
+    })
+}
+
+/// Emits `fig11.tsv`: entries reaching the head while still fetching.
+pub fn emit_fig11(results: &[WorkloadResults]) -> io::Result<PathBuf> {
+    emit_counter_fig("fig11", results, |r| {
+        r.frontend.partially_covered_entries.get()
+    })
+}
+
+/// Emits `scenarios.tsv`: the §III per-cycle FTQ-state taxonomy.
+pub fn emit_scenarios(results: &[WorkloadResults]) -> io::Result<PathBuf> {
+    let mut rows = Vec::new();
+    for r in results {
+        for id in SCENARIO_CONFIGS {
+            let (s1, s2, s3, empty) = r.report(id).frontend.scenario_fractions();
+            rows.push(format!(
+                "{}\t{}\t{:.4}\t{:.4}\t{:.4}\t{:.4}",
+                r.name(),
+                id.label(),
+                s1,
+                s2,
+                s3,
+                empty
+            ));
+        }
+    }
+    emit_tsv("scenarios", "workload\tconfig\ts1\ts2\ts3\tempty", &rows)
+}
+
+/// Emits `table1.tsv`: the paper's simulation parameters.
+pub fn emit_table1() -> io::Result<PathBuf> {
+    let mut rows = Vec::new();
+    for (k, v) in SimConfig::sunny_cove_like().table_rows() {
+        rows.push(format!("{k}\t{v}"));
+    }
+    rows.push(format!(
+        "FTQ (conservative)\t{} entries",
+        SimConfig::conservative().frontend.ftq_entries
+    ));
+    emit_tsv("table1", "parameter\tvalue", &rows)
+}
+
+/// Runs the AsmDB pipeline (memoized) over the session's workloads in
+/// parallel and returns each workload's bloat accounting, without any
+/// evaluation simulations — all Figure 7 needs.
+pub fn bloat_sweep(session: &Session) -> Result<Vec<(String, RewriteReport)>, BenchError> {
+    let specs = session.workloads();
+    Ok(session.par_map(&specs, |_, spec| {
+        (spec.name.clone(), session.asmdb(spec).report)
+    })?)
+}
+
+/// Runs the full six-configuration plan once and emits every figure of
+/// the single-sweep evaluation (`fig1`, `fig7`–`fig11`, `scenarios`),
+/// streaming a per-workload summary line to stderr in suite order.
+pub fn emit_all(session: &Session) -> Result<Vec<PathBuf>, BenchError> {
+    let plan = ExperimentPlan::all_figures(session.workloads());
+    eprintln!(
+        "running {} workloads × {} simulations (+1 profile each) at {} instructions on {} thread(s)",
+        plan.workloads().len(),
+        plan.configs().len(),
+        session.instructions(),
+        session.threads()
+    );
+    let n = plan.workloads().len();
+    let mut i = 0usize;
+    let results = session.run_streaming(&plan, |r| {
+        i += 1;
+        eprintln!(
+            "[{i}/{n}] {}  FDP24 {:.3}x  AsmDB+FDP {:.3}x",
+            r.name(),
+            r.fdp().speedup_over(r.base()),
+            r.asmdb_fdp().speedup_over(r.base())
+        );
+    })?;
+    let bloats: Vec<(String, RewriteReport)> = results
+        .iter()
+        .map(|r| (r.name().to_string(), *r.bloat()))
+        .collect();
+    Ok(vec![
+        emit_fig1(&results)?,
+        emit_fig7(&bloats)?,
+        emit_fig8(&results)?,
+        emit_fig9(&results)?,
+        emit_fig10(&results)?,
+        emit_fig11(&results)?,
+        emit_scenarios(&results)?,
+    ])
+}
+
+/// Runs and emits one named figure (`fig1`, `fig7`–`fig11`, `scenarios`,
+/// `table1`), or every single-sweep figure for `all`. This is the entry
+/// point behind `swip bench --figure NAME` and the per-figure binaries.
+pub fn run_figure(session: &Session, name: &str) -> Result<Vec<PathBuf>, BenchError> {
+    let all_six = || ExperimentPlan::all_figures(session.workloads());
+    match name {
+        "all" | "allfigs" => emit_all(session),
+        "table1" => Ok(vec![emit_table1()?]),
+        "fig1" => Ok(vec![emit_fig1(&session.run(&all_six())?)?]),
+        "fig7" => Ok(vec![emit_fig7(&bloat_sweep(session)?)?]),
+        "fig8" => {
+            let plan = ExperimentPlan::new(session.workloads(), &FIG8_CONFIGS);
+            Ok(vec![emit_fig8(&session.run(&plan)?)?])
+        }
+        "fig9" => Ok(vec![emit_fig9(&session.run(&all_six())?)?]),
+        "fig10" => Ok(vec![emit_fig10(&session.run(&all_six())?)?]),
+        "fig11" => Ok(vec![emit_fig11(&session.run(&all_six())?)?]),
+        "scenarios" => {
+            let plan = ExperimentPlan::new(session.workloads(), &SCENARIO_CONFIGS);
+            Ok(vec![emit_scenarios(&session.run(&plan)?)?])
+        }
+        other => Err(BenchError::UnknownFigure(other.to_string())),
+    }
+}

@@ -1,10 +1,35 @@
-//! The experiment harness that regenerates every table and figure of the
+//! The experiment engine that regenerates every table and figure of the
 //! paper.
 //!
-//! Each figure has a dedicated binary (`fig1`, `fig7` … `fig11`, `table1`)
-//! that prints TSV rows to stdout and mirrors them into
-//! `target/experiments/<name>.tsv`. The shared machinery here runs the six
-//! simulation configurations of Figure 1 for each workload:
+//! # The Session API
+//!
+//! Experiments are described by an [`ExperimentPlan`] — a deduplicated
+//! matrix of workloads × [`ConfigId`] configurations — and executed by a
+//! [`Session`] built via [`SessionBuilder`]:
+//!
+//! ```no_run
+//! use swip_bench::{ExperimentPlan, SessionBuilder};
+//!
+//! let session = SessionBuilder::new()
+//!     .instructions(300_000)
+//!     .threads(4)
+//!     .build()?;
+//! let plan = ExperimentPlan::all_figures(session.workloads());
+//! let results = session.run(&plan)?;
+//! for r in &results {
+//!     println!("{}: AsmDB+FDP {:.3}x", r.name(), r.asmdb_fdp().speedup_over(r.base()));
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Independent (workload, configuration) jobs run on a self-scheduling
+//! `std::thread` pool; generated traces and AsmDB pipeline outputs are
+//! memoized on the session, so the six paper configurations share **one**
+//! trace generation and **one** profile pass per workload (observable via
+//! [`Session::counters`]). Results stream back in deterministic plan
+//! order regardless of thread count.
+//!
+//! The paper's six simulation configurations (Figure 1):
 //!
 //! 1. conservative baseline (2-entry FTQ FDP),
 //! 2. AsmDB on the conservative front-end,
@@ -13,172 +38,124 @@
 //! 5. AsmDB on the industry-standard FDP,
 //! 6. AsmDB with no insertion overhead on the industry-standard FDP.
 //!
-//! Scale knobs (environment variables):
-//!
-//! * `SWIP_INSTRUCTIONS` — dynamic instructions per workload (default
-//!   300 000; the paper simulates 100 M, which also works but takes hours).
-//! * `SWIP_STRIDE` — take every n-th workload of the 48 (default 1 = all).
-//! * `SWIP_ASMDB` — `default`, `aggressive`, or `wide` tuning.
+//! Each figure has a dedicated binary (`fig1`, `fig7` … `fig11`,
+//! `table1`) that prints TSV rows to stdout and mirrors them into
+//! `target/experiments/<name>.tsv`; `allfigs` (or `swip bench`) produces
+//! the whole single-sweep evaluation at once. Scale knobs are explicit on
+//! [`SessionBuilder`]; the old `SWIP_INSTRUCTIONS` / `SWIP_STRIDE` /
+//! `SWIP_ASMDB` environment variables survive as a deprecated shim
+//! ([`SessionBuilder::from_env`], which also honors `SWIP_THREADS` and
+//! `SWIP_CACHE_DIR`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::fmt;
 use std::fs;
-use std::io::Write as _;
+use std::io::{self, Write as _};
 use std::path::PathBuf;
 
-use swip_asmdb::{Asmdb, AsmdbConfig, RewriteReport};
-use swip_core::{SimConfig, SimReport, Simulator};
-use swip_trace::Trace;
-use swip_workloads::{cvp1_suite, generate, WorkloadSpec};
+mod config;
+mod engine;
+pub mod figures;
+mod plan;
+mod results;
+mod session;
 
-/// Scale and tuning for one experiment invocation.
-#[derive(Clone, Debug)]
-pub struct Harness {
-    /// Dynamic instructions per workload.
-    pub instructions: u64,
-    /// Take every n-th workload.
-    pub stride: usize,
-    /// AsmDB tuning.
-    pub asmdb: AsmdbConfig,
+pub use config::{AsmdbTuning, ConfigId};
+pub use engine::EngineError;
+pub use plan::ExperimentPlan;
+pub use results::WorkloadResults;
+pub use session::{BuildError, Session, SessionBuilder, SessionCounters};
+
+/// Any failure a figure binary can hit: invalid session knobs, a
+/// panicking job, an I/O error while emitting TSVs, or an unknown figure
+/// name.
+#[derive(Debug)]
+pub enum BenchError {
+    /// Session construction was rejected.
+    Build(BuildError),
+    /// A job panicked on the worker pool.
+    Engine(EngineError),
+    /// Writing an experiment TSV failed.
+    Io(io::Error),
+    /// `swip bench --figure NAME` named a figure that does not exist.
+    UnknownFigure(String),
 }
 
-impl Harness {
-    /// Builds a harness from the `SWIP_*` environment variables.
-    pub fn from_env() -> Self {
-        let instructions = std::env::var("SWIP_INSTRUCTIONS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(300_000);
-        let stride = std::env::var("SWIP_STRIDE")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(1)
-            .max(1);
-        let asmdb = match std::env::var("SWIP_ASMDB").as_deref() {
-            Ok("aggressive") => AsmdbConfig::aggressive(),
-            Ok("wide") => AsmdbConfig {
-                min_reach: 0.25,
-                max_sites_per_target: 3,
-                window_factor: 8,
-                miss_coverage: 0.95,
-                min_misses: 4,
-                ..AsmdbConfig::default()
-            },
-            _ => AsmdbConfig::default(),
-        };
-        // Miss-count thresholds are absolute; scale with the run length so
-        // short calibration runs still see insertions.
-        let mut asmdb = asmdb;
-        asmdb.min_misses = asmdb.min_misses.max(instructions / 100_000);
-        Harness {
-            instructions,
-            stride,
-            asmdb,
-        }
-    }
-
-    /// The workload subset this harness runs.
-    pub fn workloads(&self) -> Vec<WorkloadSpec> {
-        cvp1_suite(self.instructions)
-            .into_iter()
-            .step_by(self.stride)
-            .collect()
-    }
-
-    /// Runs the full six-configuration experiment for one workload.
-    pub fn run_workload(&self, spec: &WorkloadSpec) -> WorkloadResults {
-        let trace = generate(spec);
-        self.run_trace(spec.name.clone(), &trace)
-    }
-
-    /// Runs the six configurations on an existing trace.
-    pub fn run_trace(&self, name: String, trace: &Trace) -> WorkloadResults {
-        let cons = SimConfig::conservative();
-        let fdp = SimConfig::sunny_cove_like();
-        let asmdb = Asmdb::new(self.asmdb.clone());
-        // The paper profiles once (on the front-end AsmDB was designed
-        // against) and evaluates the same rewritten binary everywhere.
-        let out = asmdb.run(trace, &cons);
-        WorkloadResults {
-            name,
-            bloat: out.report,
-            base: Simulator::new(cons.clone()).run(trace),
-            asmdb_cons: Simulator::new(cons.clone()).run(&out.rewritten),
-            asmdb_cons_noov: Simulator::new(cons).run_with_hints(trace, &out.hints),
-            fdp: Simulator::new(fdp.clone()).run(trace),
-            asmdb_fdp: Simulator::new(fdp.clone()).run(&out.rewritten),
-            asmdb_fdp_noov: Simulator::new(fdp).run_with_hints(trace, &out.hints),
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Build(e) => write!(f, "invalid session: {e}"),
+            BenchError::Engine(e) => write!(f, "{e}"),
+            BenchError::Io(e) => write!(f, "could not write experiment output: {e}"),
+            BenchError::UnknownFigure(name) => write!(
+                f,
+                "unknown figure {name:?} (expected all, table1, fig1, fig7..fig11, or scenarios)"
+            ),
         }
     }
 }
 
-/// The six per-workload simulation reports plus AsmDB's bloat accounting.
-#[derive(Clone, Debug)]
-pub struct WorkloadResults {
-    /// Workload name.
-    pub name: String,
-    /// AsmDB rewrite accounting (Fig 7).
-    pub bloat: RewriteReport,
-    /// Conservative (2-entry FTQ) baseline.
-    pub base: SimReport,
-    /// AsmDB on the conservative front-end.
-    pub asmdb_cons: SimReport,
-    /// AsmDB, no insertion overhead, conservative front-end.
-    pub asmdb_cons_noov: SimReport,
-    /// Industry-standard FDP (24-entry FTQ).
-    pub fdp: SimReport,
-    /// AsmDB on the industry-standard FDP.
-    pub asmdb_fdp: SimReport,
-    /// AsmDB, no insertion overhead, industry-standard FDP.
-    pub asmdb_fdp_noov: SimReport,
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Build(e) => Some(e),
+            BenchError::Engine(e) => Some(e),
+            BenchError::Io(e) => Some(e),
+            BenchError::UnknownFigure(_) => None,
+        }
+    }
 }
 
-impl WorkloadResults {
-    /// The five Figure-1 series as speedups over the conservative baseline,
-    /// in the paper's legend order.
-    pub fn fig1_series(&self) -> [(&'static str, f64); 5] {
-        [
-            ("AsmDB", self.asmdb_cons.speedup_over(&self.base)),
-            (
-                "AsmDB-NoInsertionOverhead",
-                self.asmdb_cons_noov.speedup_over(&self.base),
-            ),
-            ("FDP(24-Entry-FTQ)", self.fdp.speedup_over(&self.base)),
-            ("AsmDB+FDP", self.asmdb_fdp.speedup_over(&self.base)),
-            (
-                "AsmDB+FDP-NoInsertionOverhead",
-                self.asmdb_fdp_noov.speedup_over(&self.base),
-            ),
-        ]
+impl From<BuildError> for BenchError {
+    fn from(e: BuildError) -> Self {
+        BenchError::Build(e)
+    }
+}
+
+impl From<EngineError> for BenchError {
+    fn from(e: EngineError) -> Self {
+        BenchError::Engine(e)
+    }
+}
+
+impl From<io::Error> for BenchError {
+    fn from(e: io::Error) -> Self {
+        BenchError::Io(e)
     }
 }
 
 /// The output directory for experiment TSVs (`target/experiments`).
+///
+/// The directory is created by [`emit_tsv`], not here.
 pub fn out_dir() -> PathBuf {
-    let dir = PathBuf::from("target/experiments");
-    let _ = fs::create_dir_all(&dir);
-    dir
+    PathBuf::from("target/experiments")
 }
 
 /// Writes TSV `rows` (with `header`) to stdout and to
-/// `target/experiments/<name>.tsv`.
-pub fn emit_tsv(name: &str, header: &str, rows: &[String]) {
+/// `target/experiments/<name>.tsv`, returning the file path.
+///
+/// # Errors
+///
+/// Propagates any I/O failure creating or writing the file, so figure
+/// binaries exit nonzero instead of silently dropping output.
+pub fn emit_tsv(name: &str, header: &str, rows: &[String]) -> io::Result<PathBuf> {
     println!("{header}");
     for r in rows {
         println!("{r}");
     }
-    let path = out_dir().join(format!("{name}.tsv"));
-    match fs::File::create(&path) {
-        Ok(mut f) => {
-            let _ = writeln!(f, "{header}");
-            for r in rows {
-                let _ = writeln!(f, "{r}");
-            }
-            eprintln!("[wrote {}]", path.display());
-        }
-        Err(e) => eprintln!("[could not write {}: {e}]", path.display()),
+    let dir = out_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.tsv"));
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "{header}")?;
+    for r in rows {
+        writeln!(f, "{r}")?;
     }
+    f.flush()?;
+    eprintln!("[wrote {}]", path.display());
+    Ok(path)
 }
 
 #[cfg(test)]
@@ -186,31 +163,28 @@ mod tests {
     use super::*;
 
     #[test]
-    fn stride_subsets_workloads() {
-        let h = Harness {
-            instructions: 10_000,
-            stride: 16,
-            asmdb: AsmdbConfig::default(),
-        };
-        let w = h.workloads();
-        assert_eq!(w.len(), 3); // 48 / 16
-        assert_eq!(w[0].instructions, 10_000);
-    }
-
-    #[test]
     fn six_configs_run_end_to_end() {
-        let h = Harness {
-            instructions: 20_000,
-            stride: 48,
-            asmdb: AsmdbConfig::default(),
-        };
-        let spec = &h.workloads()[0];
-        let r = h.run_workload(spec);
-        assert!(r.base.completed && r.fdp.completed);
-        assert!(r.asmdb_cons.completed && r.asmdb_fdp.completed);
-        assert!(r.asmdb_cons_noov.completed && r.asmdb_fdp_noov.completed);
+        let session = SessionBuilder::new()
+            .instructions(20_000)
+            .stride(48)
+            .threads(2)
+            .build()
+            .unwrap();
+        let plan = ExperimentPlan::all_figures(session.workloads());
+        assert_eq!(plan.job_count(), 6);
+        let results = session.run(&plan).unwrap();
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert!(r.base().completed && r.fdp().completed);
+        assert!(r.asmdb_cons().completed && r.asmdb_fdp().completed);
+        assert!(r.asmdb_cons_noov().completed && r.asmdb_fdp_noov().completed);
         for (name, s) in r.fig1_series() {
             assert!(s > 0.0, "{name} speedup must be positive");
         }
+        // One generation + one profile, despite six jobs racing.
+        let c = session.counters();
+        assert_eq!(c.trace_generations, 1);
+        assert_eq!(c.asmdb_profiles, 1);
+        assert_eq!(c.sim_runs, 6);
     }
 }

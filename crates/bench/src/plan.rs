@@ -1,0 +1,124 @@
+//! [`ExperimentPlan`]: the deduplicated workload × configuration job
+//! matrix a [`Session`](crate::Session) executes.
+
+use swip_workloads::WorkloadSpec;
+
+use crate::ConfigId;
+
+/// A deduplicated experiment matrix: every (workload, configuration) pair
+/// becomes one independent job on the session's thread pool.
+///
+/// Workloads are deduplicated by name (first occurrence wins) and
+/// configurations are stored in the canonical [`ConfigId::ALL`] order, so
+/// two plans built from the same sets compare and execute identically
+/// regardless of the order the caller listed them in.
+#[derive(Clone, Debug)]
+pub struct ExperimentPlan {
+    workloads: Vec<WorkloadSpec>,
+    configs: Vec<ConfigId>,
+}
+
+impl ExperimentPlan {
+    /// Builds a plan from `workloads` × `configs`, deduplicating both axes.
+    pub fn new(workloads: Vec<WorkloadSpec>, configs: &[ConfigId]) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        let workloads: Vec<WorkloadSpec> = workloads
+            .into_iter()
+            .filter(|w| seen.insert(w.name.clone()))
+            .collect();
+        let mut ids: Vec<ConfigId> = ConfigId::ALL
+            .into_iter()
+            .filter(|id| configs.contains(id))
+            .collect();
+        ids.dedup();
+        ExperimentPlan {
+            workloads,
+            configs: ids,
+        }
+    }
+
+    /// The full six-configuration plan behind Figures 1 and 9–11.
+    pub fn all_figures(workloads: Vec<WorkloadSpec>) -> Self {
+        Self::new(workloads, &ConfigId::ALL)
+    }
+
+    /// The plan's workloads, in execution (and result) order.
+    pub fn workloads(&self) -> &[WorkloadSpec] {
+        &self.workloads
+    }
+
+    /// The plan's configurations, in canonical order.
+    pub fn configs(&self) -> &[ConfigId] {
+        &self.configs
+    }
+
+    /// Whether executing this plan requires the AsmDB pipeline (and hence
+    /// produces bloat accounting in its results).
+    pub fn wants_asmdb(&self) -> bool {
+        self.configs.iter().any(|c| c.needs_asmdb())
+    }
+
+    /// Number of independent jobs (workloads × configurations).
+    pub fn job_count(&self) -> usize {
+        self.workloads.len() * self.configs.len()
+    }
+
+    /// True when the plan has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.job_count() == 0
+    }
+
+    /// All jobs in workload-major order: `(workload index, config)`.
+    pub(crate) fn jobs(&self) -> Vec<(usize, ConfigId)> {
+        let mut jobs = Vec::with_capacity(self.job_count());
+        for w in 0..self.workloads.len() {
+            for &c in &self.configs {
+                jobs.push((w, c));
+            }
+        }
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swip_workloads::cvp1_suite;
+
+    #[test]
+    fn deduplicates_both_axes() {
+        let mut w = cvp1_suite(1_000)[..2].to_vec();
+        w.push(w[0].clone()); // duplicate workload
+        let plan = ExperimentPlan::new(
+            w,
+            &[
+                ConfigId::Fdp,
+                ConfigId::Base,
+                ConfigId::Fdp, // duplicate config
+            ],
+        );
+        assert_eq!(plan.workloads().len(), 2);
+        // Canonical order: Base before Fdp, regardless of caller order.
+        assert_eq!(plan.configs(), &[ConfigId::Base, ConfigId::Fdp]);
+        assert_eq!(plan.job_count(), 4);
+        assert!(!plan.wants_asmdb());
+    }
+
+    #[test]
+    fn jobs_are_workload_major() {
+        let plan = ExperimentPlan::new(
+            cvp1_suite(1_000)[..2].to_vec(),
+            &[ConfigId::Base, ConfigId::AsmdbFdp],
+        );
+        assert!(plan.wants_asmdb());
+        assert_eq!(
+            plan.jobs(),
+            vec![
+                (0, ConfigId::Base),
+                (0, ConfigId::AsmdbFdp),
+                (1, ConfigId::Base),
+                (1, ConfigId::AsmdbFdp),
+            ]
+        );
+    }
+}

@@ -1,0 +1,583 @@
+//! The redesigned experiment-session API: [`SessionBuilder`] → [`Session`].
+//!
+//! A `Session` owns the scale knobs (instructions, stride), the AsmDB
+//! tuning, the thread count, and two memoization layers:
+//!
+//! * generated [`Trace`]s, keyed by workload name (optionally persisted to
+//!   a cache directory in the `SWIP` binary format), and
+//! * AsmDB pipeline outputs ([`AsmdbOutput`]: profile, plan, rewritten
+//!   trace, hints), keyed by workload name.
+//!
+//! Because every (workload, configuration) job goes through these memos,
+//! an [`ExperimentPlan`](crate::ExperimentPlan) with all six paper
+//! configurations still performs exactly **one** trace generation and
+//! **one** AsmDB profile pass per workload, no matter how many threads are
+//! racing — verified by the [`SessionCounters`] the session exposes.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use swip_asmdb::{Asmdb, AsmdbConfig, AsmdbOutput};
+use swip_core::{SimConfig, SimReport, Simulator};
+use swip_trace::Trace;
+use swip_workloads::{cvp1_suite, generate, WorkloadSpec};
+
+use crate::{AsmdbTuning, ConfigId};
+
+/// A typed rejection from [`SessionBuilder::build`].
+///
+/// Invalid knobs are errors, not silent clamps: a stride of zero would
+/// select no workloads, zero instructions would generate empty traces, and
+/// zero threads cannot execute anything.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BuildError {
+    /// `instructions == 0`.
+    ZeroInstructions,
+    /// `stride == 0`.
+    ZeroStride,
+    /// `threads == 0`.
+    ZeroThreads,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::ZeroInstructions => {
+                write!(f, "instructions must be positive (got 0)")
+            }
+            BuildError::ZeroStride => write!(f, "stride must be positive (got 0)"),
+            BuildError::ZeroThreads => write!(f, "threads must be positive (got 0)"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builder for a [`Session`]: scale, tuning, parallelism, and caching.
+///
+/// This replaces the old env-var-only `Harness::from_env`; the `SWIP_*`
+/// environment variables survive as a thin compatibility shim
+/// ([`SessionBuilder::from_env`]) that is deprecated in favor of explicit
+/// knobs (`swip bench --instructions N --threads K`).
+#[derive(Clone, Debug)]
+pub struct SessionBuilder {
+    instructions: u64,
+    stride: usize,
+    asmdb: AsmdbConfig,
+    threads: usize,
+    cache_dir: Option<PathBuf>,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        SessionBuilder {
+            instructions: 300_000,
+            stride: 1,
+            asmdb: AsmdbConfig::default(),
+            threads: default_threads(),
+            cache_dir: None,
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+impl SessionBuilder {
+    /// A builder with the defaults (300 k instructions, full suite,
+    /// default AsmDB tuning, one thread per available core, no disk cache).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Dynamic instructions per workload.
+    #[must_use]
+    pub fn instructions(mut self, n: u64) -> Self {
+        self.instructions = n;
+        self
+    }
+
+    /// Take every n-th workload of the 48.
+    #[must_use]
+    pub fn stride(mut self, n: usize) -> Self {
+        self.stride = n;
+        self
+    }
+
+    /// Worker threads for plan execution.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// AsmDB tuning by name.
+    #[must_use]
+    pub fn tuning(mut self, t: AsmdbTuning) -> Self {
+        self.asmdb = t.config();
+        self
+    }
+
+    /// Fully custom AsmDB knobs.
+    #[must_use]
+    pub fn asmdb_config(mut self, c: AsmdbConfig) -> Self {
+        self.asmdb = c;
+        self
+    }
+
+    /// Directory where generated traces are cached in the `SWIP` binary
+    /// format, so a second session (or process) skips generation entirely.
+    #[must_use]
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// The deprecated `SWIP_*` environment shim: layers
+    /// `SWIP_INSTRUCTIONS`, `SWIP_STRIDE`, `SWIP_THREADS`, `SWIP_ASMDB`,
+    /// and `SWIP_CACHE_DIR` over the defaults. Unparsable values keep the
+    /// default and report the offending variable on stderr.
+    pub fn from_env() -> Self {
+        let (builder, warnings) = Self::default().apply_env(std::env::vars());
+        for w in &warnings {
+            eprintln!("warning: {w}");
+        }
+        builder
+    }
+
+    /// Applies `SWIP_*` pairs to this builder, returning the updated
+    /// builder and one warning per variable that failed to parse (naming
+    /// the variable and the rejected value). Factored out of
+    /// [`SessionBuilder::from_env`] so the parsing is testable without
+    /// mutating process-global state.
+    pub fn apply_env(
+        mut self,
+        vars: impl IntoIterator<Item = (String, String)>,
+    ) -> (Self, Vec<String>) {
+        let mut warnings = Vec::new();
+        for (key, value) in vars {
+            match key.as_str() {
+                "SWIP_INSTRUCTIONS" => match value.replace('_', "").parse() {
+                    Ok(n) => self.instructions = n,
+                    Err(_) => warnings.push(format!(
+                        "SWIP_INSTRUCTIONS={value:?} is not a number; keeping {}",
+                        self.instructions
+                    )),
+                },
+                "SWIP_STRIDE" => match value.parse() {
+                    Ok(n) => self.stride = n,
+                    Err(_) => warnings.push(format!(
+                        "SWIP_STRIDE={value:?} is not a number; keeping {}",
+                        self.stride
+                    )),
+                },
+                "SWIP_THREADS" => match value.parse() {
+                    Ok(n) => self.threads = n,
+                    Err(_) => warnings.push(format!(
+                        "SWIP_THREADS={value:?} is not a number; keeping {}",
+                        self.threads
+                    )),
+                },
+                "SWIP_ASMDB" => match AsmdbTuning::parse(&value) {
+                    Some(t) => self.asmdb = t.config(),
+                    None => warnings.push(format!(
+                        "SWIP_ASMDB={value:?} is not one of default/aggressive/wide; \
+                         keeping the current tuning"
+                    )),
+                },
+                "SWIP_CACHE_DIR" => self.cache_dir = Some(PathBuf::from(value)),
+                _ => {}
+            }
+        }
+        (self, warnings)
+    }
+
+    /// Validates the knobs and builds the session.
+    ///
+    /// Miss-count thresholds are absolute, so AsmDB's `min_misses` is
+    /// scaled with the run length (as the old harness did) to keep short
+    /// calibration runs seeing insertions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`BuildError`] for any zero-valued knob.
+    pub fn build(self) -> Result<Session, BuildError> {
+        if self.instructions == 0 {
+            return Err(BuildError::ZeroInstructions);
+        }
+        if self.stride == 0 {
+            return Err(BuildError::ZeroStride);
+        }
+        if self.threads == 0 {
+            return Err(BuildError::ZeroThreads);
+        }
+        let mut asmdb = self.asmdb;
+        asmdb.min_misses = asmdb.min_misses.max(self.instructions / 100_000);
+        Ok(Session {
+            instructions: self.instructions,
+            stride: self.stride,
+            asmdb_config: asmdb,
+            threads: self.threads,
+            cache_dir: self.cache_dir,
+            traces: Memo::new(),
+            asmdb_outs: Memo::new(),
+            counters: AtomicCounters::default(),
+        })
+    }
+}
+
+/// A snapshot of a session's cache and work counters.
+///
+/// The acceptance property of the engine is visible here: after executing
+/// a six-configuration plan, `trace_generations` and `asmdb_profiles` both
+/// equal the number of workloads — every extra lookup is a cache hit.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct SessionCounters {
+    /// Traces generated from scratch.
+    pub trace_generations: u64,
+    /// Trace lookups served from the in-memory memo.
+    pub trace_cache_hits: u64,
+    /// Trace lookups served from the on-disk cache directory.
+    pub trace_disk_hits: u64,
+    /// AsmDB profile→plan→rewrite pipeline executions.
+    pub asmdb_profiles: u64,
+    /// AsmDB lookups served from the in-memory memo.
+    pub asmdb_cache_hits: u64,
+    /// Simulator runs executed by plan jobs (excludes AsmDB's internal
+    /// profiling run).
+    pub sim_runs: u64,
+}
+
+#[derive(Default)]
+struct AtomicCounters {
+    trace_generations: AtomicU64,
+    trace_cache_hits: AtomicU64,
+    trace_disk_hits: AtomicU64,
+    asmdb_profiles: AtomicU64,
+    asmdb_cache_hits: AtomicU64,
+    sim_runs: AtomicU64,
+}
+
+/// A by-name memo where the first requester computes and every concurrent
+/// requester blocks on the same cell instead of recomputing.
+struct Memo<V> {
+    map: Mutex<HashMap<String, Arc<OnceLock<Arc<V>>>>>,
+}
+
+impl<V> Memo<V> {
+    fn new() -> Self {
+        Memo {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn get_or_init(&self, key: &str, on_hit: impl FnOnce(), init: impl FnOnce() -> V) -> Arc<V> {
+        let cell = {
+            let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
+            map.entry(key.to_string()).or_default().clone()
+        };
+        if let Some(v) = cell.get() {
+            on_hit();
+            return Arc::clone(v);
+        }
+        Arc::clone(cell.get_or_init(|| Arc::new(init())))
+    }
+}
+
+/// An experiment session: validated knobs, the worker pool, and the
+/// memoized trace / AsmDB artifacts shared by all jobs.
+///
+/// Construct via [`SessionBuilder`]; execute an
+/// [`ExperimentPlan`](crate::ExperimentPlan) with
+/// [`Session::run`](crate::Session::run) /
+/// [`Session::run_streaming`](crate::Session::run_streaming), or map an
+/// arbitrary per-workload closure over the pool with
+/// [`Session::par_map`](crate::Session::par_map).
+pub struct Session {
+    pub(crate) instructions: u64,
+    pub(crate) stride: usize,
+    pub(crate) asmdb_config: AsmdbConfig,
+    pub(crate) threads: usize,
+    cache_dir: Option<PathBuf>,
+    traces: Memo<Trace>,
+    asmdb_outs: Memo<AsmdbOutput>,
+    counters: AtomicCounters,
+}
+
+impl Session {
+    /// A builder with the defaults.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// Dynamic instructions per workload.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Workload stride over the 48-trace suite.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Worker threads used for plan execution.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The AsmDB tuning (with `min_misses` already scaled to the run
+    /// length).
+    pub fn asmdb_config(&self) -> &AsmdbConfig {
+        &self.asmdb_config
+    }
+
+    /// The workload subset this session runs.
+    pub fn workloads(&self) -> Vec<WorkloadSpec> {
+        cvp1_suite(self.instructions)
+            .into_iter()
+            .step_by(self.stride)
+            .collect()
+    }
+
+    /// The memoized trace for `spec`: generated at most once per session
+    /// (or loaded from the cache directory, when configured).
+    pub fn trace(&self, spec: &WorkloadSpec) -> Arc<Trace> {
+        self.traces.get_or_init(
+            &spec.name,
+            || {
+                self.counters
+                    .trace_cache_hits
+                    .fetch_add(1, Ordering::Relaxed);
+            },
+            || {
+                if let Some(t) = self.load_cached_trace(spec) {
+                    self.counters
+                        .trace_disk_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    return t;
+                }
+                self.counters
+                    .trace_generations
+                    .fetch_add(1, Ordering::Relaxed);
+                let t = generate(spec);
+                self.store_cached_trace(spec, &t);
+                t
+            },
+        )
+    }
+
+    /// The memoized AsmDB pipeline output for `spec`: profiled at most
+    /// once per session, on the conservative front-end (the paper profiles
+    /// on the front-end AsmDB was designed against and evaluates the same
+    /// rewritten binary everywhere).
+    pub fn asmdb(&self, spec: &WorkloadSpec) -> Arc<AsmdbOutput> {
+        self.asmdb_outs.get_or_init(
+            &spec.name,
+            || {
+                self.counters
+                    .asmdb_cache_hits
+                    .fetch_add(1, Ordering::Relaxed);
+            },
+            || {
+                let trace = self.trace(spec);
+                self.counters.asmdb_profiles.fetch_add(1, Ordering::Relaxed);
+                Asmdb::new(self.asmdb_config.clone()).run(&trace, &SimConfig::conservative())
+            },
+        )
+    }
+
+    /// A snapshot of the cache/work counters.
+    pub fn counters(&self) -> SessionCounters {
+        SessionCounters {
+            trace_generations: self.counters.trace_generations.load(Ordering::Relaxed),
+            trace_cache_hits: self.counters.trace_cache_hits.load(Ordering::Relaxed),
+            trace_disk_hits: self.counters.trace_disk_hits.load(Ordering::Relaxed),
+            asmdb_profiles: self.counters.asmdb_profiles.load(Ordering::Relaxed),
+            asmdb_cache_hits: self.counters.asmdb_cache_hits.load(Ordering::Relaxed),
+            sim_runs: self.counters.sim_runs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Executes one (workload, configuration) job.
+    pub(crate) fn run_job(&self, spec: &WorkloadSpec, id: ConfigId) -> SimReport {
+        let sim = Simulator::new(id.sim_config());
+        let report = match id {
+            ConfigId::Base | ConfigId::Fdp => sim.run(&self.trace(spec)),
+            ConfigId::AsmdbCons | ConfigId::AsmdbFdp => sim.run(&self.asmdb(spec).rewritten),
+            ConfigId::AsmdbConsNoov | ConfigId::AsmdbFdpNoov => {
+                let out = self.asmdb(spec);
+                sim.run_with_hints(&self.trace(spec), &out.hints)
+            }
+        };
+        self.counters.sim_runs.fetch_add(1, Ordering::Relaxed);
+        report
+    }
+
+    fn cached_trace_path(&self, spec: &WorkloadSpec) -> Option<PathBuf> {
+        self.cache_dir
+            .as_ref()
+            .map(|d| d.join(format!("{}-{}.swip", spec.name, spec.instructions)))
+    }
+
+    fn load_cached_trace(&self, spec: &WorkloadSpec) -> Option<Trace> {
+        let path = self.cached_trace_path(spec)?;
+        let file = fs::File::open(path).ok()?;
+        Trace::read_from(file).ok()
+    }
+
+    /// Best-effort disk-cache store: written to a temporary name and
+    /// renamed, so concurrent sessions never observe a partial file.
+    fn store_cached_trace(&self, spec: &WorkloadSpec, trace: &Trace) {
+        let Some(path) = self.cached_trace_path(spec) else {
+            return;
+        };
+        let Some(dir) = path.parent() else { return };
+        if fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let Ok(file) = fs::File::create(&tmp) else {
+            return;
+        };
+        if trace.write_to(file).is_ok() {
+            let _ = fs::rename(&tmp, &path);
+        } else {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("instructions", &self.instructions)
+            .field("stride", &self.stride)
+            .field("threads", &self.threads)
+            .field("cache_dir", &self.cache_dir)
+            .field("counters", &self.counters())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Iterator<Item = (String, String)> + 'a {
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+    }
+
+    #[test]
+    fn builder_rejects_zero_knobs_with_typed_errors() {
+        assert_eq!(
+            SessionBuilder::new().instructions(0).build().unwrap_err(),
+            BuildError::ZeroInstructions
+        );
+        assert_eq!(
+            SessionBuilder::new().stride(0).build().unwrap_err(),
+            BuildError::ZeroStride
+        );
+        assert_eq!(
+            SessionBuilder::new().threads(0).build().unwrap_err(),
+            BuildError::ZeroThreads
+        );
+    }
+
+    #[test]
+    fn builder_scales_min_misses_with_run_length() {
+        let s = SessionBuilder::new()
+            .instructions(1_000_000)
+            .build()
+            .unwrap();
+        assert_eq!(s.asmdb_config().min_misses, 10);
+        let s = SessionBuilder::new().instructions(20_000).build().unwrap();
+        assert_eq!(
+            s.asmdb_config().min_misses,
+            AsmdbConfig::default().min_misses
+        );
+    }
+
+    #[test]
+    fn env_shim_applies_valid_values() {
+        let (b, warnings) = SessionBuilder::new().apply_env(env(&[
+            ("SWIP_INSTRUCTIONS", "50_000"),
+            ("SWIP_STRIDE", "4"),
+            ("SWIP_THREADS", "3"),
+            ("SWIP_ASMDB", "aggressive"),
+            ("SWIP_CACHE_DIR", "/tmp/swip-cache"),
+            ("UNRELATED", "ignored"),
+        ]));
+        assert!(warnings.is_empty(), "{warnings:?}");
+        let s = b.build().unwrap();
+        assert_eq!(s.instructions(), 50_000);
+        assert_eq!(s.stride(), 4);
+        assert_eq!(s.threads(), 3);
+        assert_eq!(
+            s.asmdb_config().max_sites_per_target,
+            AsmdbConfig::aggressive().max_sites_per_target
+        );
+    }
+
+    #[test]
+    fn env_shim_names_the_variable_that_failed() {
+        let (b, warnings) = SessionBuilder::new().apply_env(env(&[
+            ("SWIP_INSTRUCTIONS", "lots"),
+            ("SWIP_STRIDE", "-1"),
+            ("SWIP_ASMDB", "turbo"),
+        ]));
+        assert_eq!(warnings.len(), 3);
+        assert!(warnings[0].contains("SWIP_INSTRUCTIONS") && warnings[0].contains("lots"));
+        assert!(warnings[1].contains("SWIP_STRIDE"));
+        assert!(warnings[2].contains("SWIP_ASMDB") && warnings[2].contains("turbo"));
+        // Defaults survive the bad values.
+        let s = b.build().unwrap();
+        assert_eq!(s.instructions(), 300_000);
+        assert_eq!(s.stride(), 1);
+    }
+
+    #[test]
+    fn env_shim_zero_stride_becomes_a_typed_build_error() {
+        // The old harness silently clamped SWIP_STRIDE=0 to 1; the builder
+        // rejects it instead.
+        let (b, warnings) = SessionBuilder::new().apply_env(env(&[("SWIP_STRIDE", "0")]));
+        assert!(warnings.is_empty());
+        assert_eq!(b.build().unwrap_err(), BuildError::ZeroStride);
+    }
+
+    #[test]
+    fn stride_subsets_workloads() {
+        let s = SessionBuilder::new()
+            .instructions(10_000)
+            .stride(16)
+            .build()
+            .unwrap();
+        let w = s.workloads();
+        assert_eq!(w.len(), 3); // 48 / 16
+        assert_eq!(w[0].instructions, 10_000);
+    }
+
+    #[test]
+    fn trace_memo_generates_once() {
+        let s = SessionBuilder::new()
+            .instructions(5_000)
+            .stride(48)
+            .build()
+            .unwrap();
+        let spec = &s.workloads()[0];
+        let a = s.trace(spec);
+        let b = s.trace(spec);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = s.counters();
+        assert_eq!(c.trace_generations, 1);
+        assert_eq!(c.trace_cache_hits, 1);
+    }
+}

@@ -12,7 +12,10 @@
 //!   and write the rewritten trace;
 //! * `swip analyze FILE [--json]` — statically verify a trace (and the CFG,
 //!   plan, and rewrite derived from it) without simulating; exits non-zero
-//!   when errors are found.
+//!   when errors are found;
+//! * `swip bench [--figure NAME] [--instructions N] [--stride N]
+//!   [--threads K] [--asmdb TUNING] [--cache-dir DIR]` — run a paper
+//!   figure (or `all` of them) through the parallel experiment engine.
 //!
 //! The parser is hand-rolled (the workspace's dependency budget is
 //! deliberately small) and returns structured [`Command`]s so it can be
@@ -75,6 +78,22 @@ pub enum Command {
         /// Emit the report as one JSON object instead of text.
         json: bool,
     },
+    /// Run benchmark figures through the parallel experiment engine.
+    Bench {
+        /// Figure to emit (`all`, `fig1`, `fig7`–`fig11`, `scenarios`,
+        /// `table1`).
+        figure: String,
+        /// Dynamic instruction budget per workload.
+        instructions: u64,
+        /// Workload suite stride (1 = all 48, 8 = every 8th, …).
+        stride: usize,
+        /// Worker threads (defaults to the machine's parallelism).
+        threads: Option<usize>,
+        /// AsmDB tuning (`default`, `aggressive`, `wide`).
+        asmdb: swip_bench::AsmdbTuning,
+        /// Directory for the on-disk trace cache.
+        cache_dir: Option<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -102,6 +121,8 @@ USAGE:
   swip run FILE [--ftq N] [--conservative]
   swip asmdb FILE --out FILE [--aggressive]
   swip analyze FILE [--json]
+  swip bench [--figure NAME] [--instructions N] [--stride N] [--threads K]
+             [--asmdb default|aggressive|wide] [--cache-dir DIR]
   swip help
 ";
 
@@ -217,6 +238,37 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
             }
             Ok(Command::Analyze { file, json })
         }
+        "bench" => {
+            let mut figure = "all".to_string();
+            let mut instructions = 300_000u64;
+            let mut stride = 1usize;
+            let mut threads = None;
+            let mut asmdb = swip_bench::AsmdbTuning::Default;
+            let mut cache_dir = None;
+            while let Some(a) = it.next() {
+                match a {
+                    "--figure" => figure = take_value(&mut it, a)?.to_string(),
+                    "--instructions" => instructions = parse_num(take_value(&mut it, a)?)?,
+                    "--stride" => stride = parse_num(take_value(&mut it, a)?)? as usize,
+                    "--threads" => threads = Some(parse_num(take_value(&mut it, a)?)? as usize),
+                    "--asmdb" => {
+                        let v = take_value(&mut it, a)?;
+                        asmdb = swip_bench::AsmdbTuning::parse(v)
+                            .ok_or_else(|| UsageError(format!("unknown asmdb tuning {v}")))?;
+                    }
+                    "--cache-dir" => cache_dir = Some(take_value(&mut it, a)?.to_string()),
+                    other => return Err(UsageError(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Bench {
+                figure,
+                instructions,
+                stride,
+                threads,
+                asmdb,
+                cache_dir,
+            })
+        }
         other => Err(UsageError(format!("unknown subcommand {other}"))),
     }
 }
@@ -313,6 +365,27 @@ pub fn execute(cmd: Command) -> Result<(), Box<dyn Error>> {
                 ))));
             }
         }
+        Command::Bench {
+            figure,
+            instructions,
+            stride,
+            threads,
+            asmdb,
+            cache_dir,
+        } => {
+            let mut builder = swip_bench::SessionBuilder::new()
+                .instructions(instructions)
+                .stride(stride)
+                .tuning(asmdb);
+            if let Some(t) = threads {
+                builder = builder.threads(t);
+            }
+            if let Some(dir) = cache_dir {
+                builder = builder.cache_dir(dir);
+            }
+            let session = builder.build()?;
+            swip_bench::figures::run_figure(&session, &figure)?;
+        }
     }
     Ok(())
 }
@@ -381,6 +454,42 @@ mod tests {
                 json: true
             })
         );
+        assert_eq!(
+            parse(&["bench"]),
+            Ok(Command::Bench {
+                figure: "all".into(),
+                instructions: 300_000,
+                stride: 1,
+                threads: None,
+                asmdb: swip_bench::AsmdbTuning::Default,
+                cache_dir: None
+            })
+        );
+        assert_eq!(
+            parse(&[
+                "bench",
+                "--figure",
+                "fig1",
+                "--instructions",
+                "20_000",
+                "--stride",
+                "16",
+                "--threads",
+                "4",
+                "--asmdb",
+                "wide",
+                "--cache-dir",
+                "/tmp/swip-cache"
+            ]),
+            Ok(Command::Bench {
+                figure: "fig1".into(),
+                instructions: 20_000,
+                stride: 16,
+                threads: Some(4),
+                asmdb: swip_bench::AsmdbTuning::Wide,
+                cache_dir: Some("/tmp/swip-cache".into())
+            })
+        );
     }
 
     #[test]
@@ -395,6 +504,23 @@ mod tests {
         assert!(parse(&["gen", "w"]).is_err());
         assert!(parse(&["asmdb", "x"]).is_err());
         assert!(parse(&["suite", "--bogus"]).is_err());
+        assert!(parse(&["bench", "--asmdb", "bogus"]).is_err());
+        assert!(parse(&["bench", "--threads"]).is_err());
+        assert!(parse(&["bench", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn bench_with_zero_knobs_is_a_build_error() {
+        let err = execute(Command::Bench {
+            figure: "fig8".into(),
+            instructions: 1_000,
+            stride: 0,
+            threads: None,
+            asmdb: swip_bench::AsmdbTuning::Default,
+            cache_dir: None,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("stride"), "{err}");
     }
 
     #[test]

@@ -38,3 +38,17 @@ pub use backend::{Backend, BackendConfig, BackendStats, ResolvedBranch};
 pub use config::SimConfig;
 pub use report::SimReport;
 pub use simulator::{PrefetchHints, PreloadMetadata, Simulator};
+
+// The bench crate's parallel experiment engine shares `Simulator`s and
+// `SimConfig`s across worker threads; keep them (and everything a job
+// returns) thread-safe by construction. A non-`Send` field added anywhere
+// in the simulator tree fails compilation here, not at the first parallel
+// run.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Simulator>();
+    assert_send_sync::<SimConfig>();
+    assert_send_sync::<SimReport>();
+    assert_send_sync::<PrefetchHints>();
+    assert_send_sync::<PreloadMetadata>();
+};

@@ -14,4 +14,18 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> smoke: swip bench --instructions 20000 --stride 16"
+rm -rf target/experiments
+start=$(date +%s)
+cargo run -p swip-cli --release --quiet -- bench --instructions 20000 --stride 16
+echo "smoke run took $(($(date +%s) - start))s"
+for f in fig1 fig7 fig8 fig9 fig10 fig11 scenarios; do
+    tsv="target/experiments/$f.tsv"
+    if ! [ -s "$tsv" ]; then
+        echo "FAIL: $tsv missing or empty" >&2
+        exit 1
+    fi
+done
+echo "all 7 figure TSVs present and non-empty"
+
 echo "All checks passed."
