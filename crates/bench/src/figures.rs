@@ -250,6 +250,7 @@ pub fn emit_all(session: &Session) -> Result<Vec<PathBuf>, BenchError> {
         emit_fig10(&results)?,
         emit_fig11(&results)?,
         emit_scenarios(&results)?,
+        crate::emit_report(session, "all", &results)?,
     ])
 }
 

@@ -59,12 +59,14 @@ mod config;
 mod engine;
 pub mod figures;
 mod plan;
+mod report;
 mod results;
 mod session;
 
 pub use config::{AsmdbTuning, ConfigId};
 pub use engine::EngineError;
 pub use plan::ExperimentPlan;
+pub use report::{build_run_report, emit_report};
 pub use results::WorkloadResults;
 pub use session::{BuildError, Session, SessionBuilder, SessionCounters};
 

@@ -1,0 +1,131 @@
+//! Building and emitting the structured [`RunReport`] for a bench run.
+//!
+//! Every `swip bench` sweep writes `target/experiments/report.json` next
+//! to the figure TSVs: the same results, but with every counter flattened
+//! under stable names (see [`swip_report::ConfigReport`]), the session's
+//! cache/work counters, and a configuration fingerprint so two runs of the
+//! same experiment are directly diffable via `swip report --diff`.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+use swip_report::{ConfigReport, RunReport, WorkloadReport};
+
+use crate::{ConfigId, Session, WorkloadResults};
+
+/// Assembles the [`RunReport`] for a finished sweep: run knobs from the
+/// session, one [`ConfigReport`] per executed (workload, configuration)
+/// job, the session counters, and the sealed fingerprint.
+pub fn build_run_report(session: &Session, figure: &str, results: &[WorkloadResults]) -> RunReport {
+    let mut report = RunReport::new(
+        figure,
+        session.instructions(),
+        session.stride() as u64,
+        session.threads() as u64,
+    );
+    let c = session.counters();
+    report.session = vec![
+        ("trace_generations".into(), c.trace_generations),
+        ("trace_cache_hits".into(), c.trace_cache_hits),
+        ("trace_disk_hits".into(), c.trace_disk_hits),
+        ("asmdb_profiles".into(), c.asmdb_profiles),
+        ("asmdb_cache_hits".into(), c.asmdb_cache_hits),
+        ("sim_runs".into(), c.sim_runs),
+    ];
+    for r in results {
+        let configs = ConfigId::ALL
+            .iter()
+            .filter_map(|&id| r.get(id).map(|sim| ConfigReport::from_sim(id.label(), sim)))
+            .collect();
+        report.workloads.push(WorkloadReport {
+            name: r.name().to_string(),
+            job_seconds: r.job_seconds(),
+            configs,
+        });
+    }
+    report.seal();
+    report
+}
+
+/// Writes the run report as pretty JSON to
+/// `target/experiments/report.json`, returning the path.
+///
+/// # Errors
+///
+/// Propagates any I/O failure, like [`emit_tsv`](crate::emit_tsv).
+pub fn emit_report(
+    session: &Session,
+    figure: &str,
+    results: &[WorkloadResults],
+) -> io::Result<PathBuf> {
+    let report = build_run_report(session, figure, results);
+    let dir = crate::out_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join("report.json");
+    fs::write(&path, report.to_json())?;
+    eprintln!("[wrote {}]", path.display());
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExperimentPlan, SessionBuilder};
+    use swip_report::RunReport;
+
+    fn small_session() -> Session {
+        SessionBuilder::new()
+            .instructions(20_000)
+            .stride(48)
+            .threads(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn run_report_mirrors_the_results() {
+        let session = small_session();
+        let plan = ExperimentPlan::all_figures(session.workloads());
+        let results = session.run(&plan).unwrap();
+        let report = build_run_report(&session, "all", &results);
+
+        assert_eq!(report.instructions, 20_000);
+        assert_eq!(report.stride, 48);
+        assert_eq!(report.session_counter("sim_runs"), Some(6));
+        assert_eq!(report.session_counter("trace_generations"), Some(1));
+        assert_eq!(report.workloads.len(), results.len());
+
+        let r = &results[0];
+        let w = report.workload(r.name()).unwrap();
+        assert_eq!(w.configs.len(), 6);
+        for id in ConfigId::ALL {
+            let sim = r.report(id);
+            let c = w.config(id.label()).unwrap();
+            assert_eq!(c.counter("cycles"), Some(sim.cycles));
+            assert_eq!(c.counter("instructions"), Some(sim.instructions));
+            assert_eq!(
+                c.counter("ftq.head_stall_cycles"),
+                Some(sim.frontend.head_stall_cycles.get())
+            );
+            assert_eq!(c.value("effective_ipc"), Some(sim.effective_ipc));
+        }
+        // And it survives the JSON round trip with the fingerprint intact.
+        let back = RunReport::from_json_str(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.compute_fingerprint(), back.fingerprint);
+    }
+
+    #[test]
+    fn partial_plans_report_only_executed_configs() {
+        let session = small_session();
+        let plan = ExperimentPlan::new(session.workloads(), &crate::figures::FIG8_CONFIGS);
+        let results = session.run(&plan).unwrap();
+        let report = build_run_report(&session, "fig8", &results);
+        let w = &report.workloads[0];
+        assert_eq!(w.configs.len(), 2);
+        assert!(w.config(ConfigId::Base.label()).is_some());
+        assert!(w.config(ConfigId::Fdp.label()).is_some());
+        assert!(w.config(ConfigId::AsmdbFdp.label()).is_none());
+    }
+}

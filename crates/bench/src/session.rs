@@ -22,6 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use swip_asmdb::{Asmdb, AsmdbConfig, AsmdbOutput};
+use swip_cache::ConfigError;
 use swip_core::{SimConfig, SimReport, Simulator};
 use swip_trace::Trace;
 use swip_workloads::{cvp1_suite, generate, WorkloadSpec};
@@ -32,8 +33,11 @@ use crate::{AsmdbTuning, ConfigId};
 ///
 /// Invalid knobs are errors, not silent clamps: a stride of zero would
 /// select no workloads, zero instructions would generate empty traces, and
-/// zero threads cannot execute anything.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+/// zero threads cannot execute anything. Simulation configurations are
+/// validated up front too ([`BuildError::Config`]), so a bad cache
+/// geometry surfaces as one message before any trace is generated instead
+/// of a panic on a worker thread mid-run.
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum BuildError {
     /// `instructions == 0`.
     ZeroInstructions,
@@ -41,6 +45,9 @@ pub enum BuildError {
     ZeroStride,
     /// `threads == 0`.
     ZeroThreads,
+    /// A simulation configuration the session would run is geometrically
+    /// invalid (see [`ConfigError`]).
+    Config(ConfigError),
 }
 
 impl fmt::Display for BuildError {
@@ -51,11 +58,18 @@ impl fmt::Display for BuildError {
             }
             BuildError::ZeroStride => write!(f, "stride must be positive (got 0)"),
             BuildError::ZeroThreads => write!(f, "threads must be positive (got 0)"),
+            BuildError::Config(e) => write!(f, "invalid simulation configuration: {e}"),
         }
     }
 }
 
 impl std::error::Error for BuildError {}
+
+impl From<ConfigError> for BuildError {
+    fn from(e: ConfigError) -> Self {
+        BuildError::Config(e)
+    }
+}
 
 /// Builder for a [`Session`]: scale, tuning, parallelism, and caching.
 ///
@@ -218,6 +232,10 @@ impl SessionBuilder {
         if self.threads == 0 {
             return Err(BuildError::ZeroThreads);
         }
+        for id in ConfigId::ALL {
+            id.sim_config().validate()?;
+        }
+        SimConfig::conservative().validate()?;
         let mut asmdb = self.asmdb;
         asmdb.min_misses = asmdb.min_misses.max(self.instructions / 100_000);
         Ok(Session {
@@ -490,6 +508,21 @@ mod tests {
             SessionBuilder::new().threads(0).build().unwrap_err(),
             BuildError::ZeroThreads
         );
+    }
+
+    #[test]
+    fn invalid_sim_configs_surface_as_build_errors() {
+        // The built-in configurations are valid, so build() succeeds...
+        assert!(SessionBuilder::new().build().is_ok());
+        // ...and a geometry rejection threads through to BuildError with
+        // the offending level's name in the message.
+        let mut bad = SimConfig::sunny_cove_like();
+        bad.memory.l1i.sets = 48;
+        let err: BuildError = bad.validate().unwrap_err().into();
+        assert!(matches!(err, BuildError::Config(_)));
+        let msg = err.to_string();
+        assert!(msg.contains("invalid simulation configuration"), "{msg}");
+        assert!(msg.contains("L1I") && msg.contains("48"), "{msg}");
     }
 
     #[test]

@@ -73,14 +73,24 @@ impl Cache {
     ///
     /// # Panics
     ///
-    /// Panics if `config.sets` is not a power of two or `config.ways` is 0.
+    /// Panics if `config.sets` is not a power of two or `config.ways` is 0;
+    /// [`Cache::try_new`] is the fallible variant.
     pub fn new(config: CacheConfig) -> Self {
-        assert!(
-            config.sets.is_power_of_two() && config.sets > 0,
-            "set count must be a power of two"
-        );
-        assert!(config.ways > 0, "associativity must be nonzero");
-        Cache {
+        match Self::try_new(config) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a cache from `config`, rejecting invalid geometry with a
+    /// typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`crate::ConfigError`] from [`CacheConfig::validate`].
+    pub fn try_new(config: CacheConfig) -> Result<Self, crate::ConfigError> {
+        config.validate()?;
+        Ok(Cache {
             sets: vec![
                 vec![
                     Way {
@@ -96,7 +106,7 @@ impl Cache {
             config,
             stats: CacheStats::default(),
             tick: 0,
-        }
+        })
     }
 
     /// The configuration of this level.

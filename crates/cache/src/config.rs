@@ -1,8 +1,70 @@
 //! Cache and hierarchy configuration.
 
+use std::fmt;
+
 use swip_types::CACHE_LINE_SIZE;
 
 use crate::{EntanglingConfig, ReplacementKind, TlbConfig};
+
+/// A typed rejection of an invalid cache or TLB geometry.
+///
+/// Set indices are computed with `page & (sets - 1)`, so a non-power-of-two
+/// set count silently aliases distinct sets instead of failing — every
+/// constructor in this crate therefore validates geometry up front and
+/// reports the offending structure by name.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ConfigError {
+    /// The set count is zero or not a power of two.
+    NonPowerOfTwoSets {
+        /// Structure name (`L1I`, `ITLB`, …).
+        name: String,
+        /// The rejected set count.
+        sets: usize,
+    },
+    /// The associativity is zero.
+    ZeroWays {
+        /// Structure name.
+        name: String,
+    },
+    /// A capacity/associativity pair yields a non-power-of-two set count.
+    BadCapacity {
+        /// Structure name.
+        name: String,
+        /// Requested capacity in KiB.
+        capacity_kib: usize,
+        /// Requested associativity.
+        ways: usize,
+        /// The set count the pair works out to.
+        sets: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NonPowerOfTwoSets { name, sets } => write!(
+                f,
+                "{name}: set count {sets} is not a positive power of two \
+                 (indexing would alias sets)"
+            ),
+            ConfigError::ZeroWays { name } => {
+                write!(f, "{name}: associativity must be nonzero")
+            }
+            ConfigError::BadCapacity {
+                name,
+                capacity_kib,
+                ways,
+                sets,
+            } => write!(
+                f,
+                "{name}: capacity {capacity_kib} KiB / {ways} ways gives \
+                 non-power-of-two set count {sets}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Geometry and timing of one cache level.
 #[derive(Clone, Debug)]
@@ -27,7 +89,8 @@ impl CacheConfig {
     ///
     /// # Panics
     ///
-    /// Panics if the resulting set count is not a positive power of two.
+    /// Panics if the resulting set count is not a positive power of two;
+    /// [`CacheConfig::try_with_capacity_kib`] is the fallible variant.
     pub fn with_capacity_kib(
         name: impl Into<String>,
         capacity_kib: usize,
@@ -36,20 +99,70 @@ impl CacheConfig {
         mshrs: usize,
         replacement: ReplacementKind,
     ) -> Self {
+        match Self::try_with_capacity_kib(name, capacity_kib, ways, latency, mshrs, replacement) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a config sized by capacity in KiB, rejecting geometries whose
+    /// set count would not be a positive power of two.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::BadCapacity`] (or [`ConfigError::ZeroWays`])
+    /// instead of panicking deep inside construction, so callers like
+    /// `swip bench` can exit with a message rather than a backtrace.
+    pub fn try_with_capacity_kib(
+        name: impl Into<String>,
+        capacity_kib: usize,
+        ways: usize,
+        latency: u64,
+        mshrs: usize,
+        replacement: ReplacementKind,
+    ) -> Result<Self, ConfigError> {
+        let name = name.into();
+        if ways == 0 {
+            return Err(ConfigError::ZeroWays { name });
+        }
         let lines = capacity_kib * 1024 / CACHE_LINE_SIZE as usize;
         let sets = lines / ways;
-        assert!(
-            sets > 0 && sets.is_power_of_two(),
-            "capacity {capacity_kib} KiB / {ways} ways gives non-power-of-two set count {sets}"
-        );
-        CacheConfig {
-            name: name.into(),
+        if sets == 0 || !sets.is_power_of_two() {
+            return Err(ConfigError::BadCapacity {
+                name,
+                capacity_kib,
+                ways,
+                sets,
+            });
+        }
+        Ok(CacheConfig {
+            name,
             sets,
             ways,
             latency,
             mshrs,
             replacement,
+        })
+    }
+
+    /// Validates the geometry: positive power-of-two sets, nonzero ways.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming this level on invalid geometry.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.sets == 0 || !self.sets.is_power_of_two() {
+            return Err(ConfigError::NonPowerOfTwoSets {
+                name: self.name.clone(),
+                sets: self.sets,
+            });
         }
+        if self.ways == 0 {
+            return Err(ConfigError::ZeroWays {
+                name: self.name.clone(),
+            });
+        }
+        Ok(())
     }
 
     /// Capacity in bytes.
@@ -126,6 +239,22 @@ impl HierarchyConfig {
     pub fn llc_round_trip(&self) -> u64 {
         self.l1i.latency + self.l2.latency + self.llc.latency
     }
+
+    /// Validates every level (and the ITLB, when configured).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`], naming the offending structure.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.l1i.validate()?;
+        self.l1d.validate()?;
+        self.l2.validate()?;
+        self.llc.validate()?;
+        if let Some(itlb) = &self.itlb {
+            itlb.validate()?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +272,58 @@ mod tests {
     #[should_panic(expected = "non-power-of-two")]
     fn bad_geometry_panics() {
         let _ = CacheConfig::with_capacity_kib("x", 48, 8, 4, 8, ReplacementKind::Lru);
+    }
+
+    #[test]
+    fn bad_geometry_is_a_typed_error() {
+        // Regression: 48 KiB / 8 ways = 96 sets used to panic deep inside
+        // construction; the fallible path names the level and the numbers.
+        let err = CacheConfig::try_with_capacity_kib("L2", 48, 8, 4, 8, ReplacementKind::Lru)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::BadCapacity {
+                name: "L2".into(),
+                capacity_kib: 48,
+                ways: 8,
+                sets: 96
+            }
+        );
+        assert!(err.to_string().contains("L2"), "{err}");
+        let err =
+            CacheConfig::try_with_capacity_kib("x", 32, 0, 4, 8, ReplacementKind::Lru).unwrap_err();
+        assert_eq!(err, ConfigError::ZeroWays { name: "x".into() });
+    }
+
+    #[test]
+    fn validate_rejects_aliasing_set_counts() {
+        let mut c = CacheConfig::with_capacity_kib("L1I", 32, 8, 4, 8, ReplacementKind::Lru);
+        assert_eq!(c.validate(), Ok(()));
+        c.sets = 96;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::NonPowerOfTwoSets {
+                name: "L1I".into(),
+                sets: 96
+            })
+        );
+    }
+
+    #[test]
+    fn hierarchy_validate_names_the_offending_level() {
+        let mut h = HierarchyConfig::sunny_cove_like();
+        assert_eq!(h.validate(), Ok(()));
+        h.l2.sets = 12;
+        let err = h.validate().unwrap_err();
+        assert!(err.to_string().contains("L2"), "{err}");
+        h.l2.sets = 1024;
+        h.itlb = Some(TlbConfig {
+            sets: 3,
+            ways: 2,
+            walk_latency: 20,
+        });
+        let err = h.validate().unwrap_err();
+        assert!(err.to_string().contains("ITLB"), "{err}");
     }
 
     #[test]

@@ -75,21 +75,45 @@ pub struct MemoryHierarchy {
 
 impl MemoryHierarchy {
     /// Builds the hierarchy from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any level (or the ITLB) has invalid geometry;
+    /// [`MemoryHierarchy::try_new`] is the fallible variant.
     pub fn new(config: HierarchyConfig) -> Self {
-        MemoryHierarchy {
+        match Self::try_new(config) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds the hierarchy from `config`, rejecting invalid geometry with
+    /// a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`crate::ConfigError`] from
+    /// [`HierarchyConfig::validate`], naming the offending structure.
+    pub fn try_new(config: HierarchyConfig) -> Result<Self, crate::ConfigError> {
+        config.validate()?;
+        let itlb = match config.itlb.clone() {
+            Some(c) => Some(Tlb::try_new(c)?),
+            None => None,
+        };
+        Ok(MemoryHierarchy {
             i_mshrs: Outstanding::new(config.l1i.mshrs),
             d_mshrs: Outstanding::new(config.l1d.mshrs),
-            l1i: Cache::new(config.l1i),
-            l1d: Cache::new(config.l1d),
-            l2: Cache::new(config.l2),
-            llc: Cache::new(config.llc),
+            l1i: Cache::try_new(config.l1i)?,
+            l1d: Cache::try_new(config.l1d)?,
+            l2: Cache::try_new(config.l2)?,
+            llc: Cache::try_new(config.llc)?,
             dram_latency: config.dram_latency,
             next_line: config.l1i_next_line_prefetch,
             stats: HierarchyStats::default(),
             line_profile: None,
             entangling: config.l1i_entangling.clone().map(EntanglingPrefetcher::new),
-            itlb: config.itlb.clone().map(Tlb::new),
-        }
+            itlb,
+        })
     }
 
     /// Statistics of the entangling prefetcher, if enabled.

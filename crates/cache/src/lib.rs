@@ -37,7 +37,7 @@ mod replacement;
 mod tlb;
 
 pub use cache::{Cache, CacheStats};
-pub use config::{CacheConfig, HierarchyConfig};
+pub use config::{CacheConfig, ConfigError, HierarchyConfig};
 pub use entangling::{EntanglingConfig, EntanglingPrefetcher, EntanglingStats};
 pub use hierarchy::{AccessResult, HierarchyStats, Level, MemoryHierarchy};
 pub use outstanding::Outstanding;

@@ -2,6 +2,8 @@
 
 use swip_types::{Addr, Counter, Cycle, Ratio};
 
+use crate::ConfigError;
+
 /// Page size (4 KiB) used by the TLB model.
 pub const PAGE_SIZE: u64 = 4096;
 const PAGE_SHIFT: u32 = 12;
@@ -25,6 +27,32 @@ impl Default for TlbConfig {
             ways: 8,
             walk_latency: 20,
         }
+    }
+}
+
+impl TlbConfig {
+    /// Validates the geometry, mirroring [`crate::CacheConfig::validate`].
+    ///
+    /// The TLB indexes with `page & (sets - 1)`, so a non-power-of-two set
+    /// count would silently alias sets and skew walk counts rather than
+    /// fail loudly — it must be rejected up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] (named `ITLB`) on invalid geometry.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.sets == 0 || !self.sets.is_power_of_two() {
+            return Err(ConfigError::NonPowerOfTwoSets {
+                name: "ITLB".into(),
+                sets: self.sets,
+            });
+        }
+        if self.ways == 0 {
+            return Err(ConfigError::ZeroWays {
+                name: "ITLB".into(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -74,11 +102,24 @@ impl Tlb {
     ///
     /// # Panics
     ///
-    /// Panics if `sets` is not a power of two or `ways` is zero.
+    /// Panics if `sets` is not a power of two or `ways` is zero;
+    /// [`Tlb::try_new`] is the fallible variant.
     pub fn new(config: TlbConfig) -> Self {
-        assert!(config.sets.is_power_of_two() && config.sets > 0);
-        assert!(config.ways > 0);
-        Tlb {
+        match Self::try_new(config) {
+            Ok(tlb) => tlb,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a TLB from `config`, rejecting invalid geometry with a typed
+    /// error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] from [`TlbConfig::validate`].
+    pub fn try_new(config: TlbConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Tlb {
             sets: vec![
                 vec![
                     TlbWay {
@@ -93,7 +134,7 @@ impl Tlb {
             config,
             tick: 0,
             stats: TlbStats::default(),
-        }
+        })
     }
 
     /// Entry capacity.
@@ -185,5 +226,48 @@ mod tests {
     #[test]
     fn default_capacity_matches_sunny_cove() {
         assert_eq!(Tlb::new(TlbConfig::default()).capacity(), 128);
+    }
+
+    #[test]
+    fn non_power_of_two_sets_is_a_typed_error() {
+        // Regression: a 3-set TLB would index with `page & 2`, silently
+        // collapsing sets 1 and 3 onto the same storage and skewing walk
+        // counts. The geometry must be rejected, not aliased.
+        let bad = TlbConfig {
+            sets: 3,
+            ways: 2,
+            walk_latency: 15,
+        };
+        let err = Tlb::try_new(bad).unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::NonPowerOfTwoSets {
+                name: "ITLB".into(),
+                sets: 3
+            }
+        );
+        let err = Tlb::try_new(TlbConfig {
+            sets: 4,
+            ways: 0,
+            walk_latency: 15,
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ZeroWays {
+                name: "ITLB".into()
+            }
+        );
+        assert!(Tlb::try_new(TlbConfig::default()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn new_still_panics_on_bad_geometry() {
+        let _ = Tlb::new(TlbConfig {
+            sets: 6,
+            ways: 2,
+            walk_latency: 15,
+        });
     }
 }

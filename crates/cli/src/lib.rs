@@ -6,8 +6,10 @@
 //! * `swip gen <workload> --out FILE [--instructions N]` — generate a
 //!   workload trace and write it in the `SWIP` binary format;
 //! * `swip inspect FILE` — print a trace's mix/footprint summary;
-//! * `swip run FILE [--ftq N] [--conservative]` — simulate a trace and
-//!   print the report;
+//! * `swip run FILE [--ftq N] [--conservative] [--timeline FILE
+//!   [--sample-stride N]]` — simulate a trace and print the report,
+//!   optionally exporting the cycle-sampled scenario timeline as Chrome
+//!   trace-event JSON (open it in `chrome://tracing` or Perfetto);
 //! * `swip asmdb FILE --out FILE [--aggressive]` — run the AsmDB pipeline
 //!   and write the rewritten trace;
 //! * `swip analyze FILE [--json]` — statically verify a trace (and the CFG,
@@ -15,7 +17,11 @@
 //!   when errors are found;
 //! * `swip bench [--figure NAME] [--instructions N] [--stride N]
 //!   [--threads K] [--asmdb TUNING] [--cache-dir DIR]` — run a paper
-//!   figure (or `all` of them) through the parallel experiment engine.
+//!   figure (or `all` of them) through the parallel experiment engine;
+//!   the `all` sweep also writes a structured `report.json` next to the
+//!   TSVs;
+//! * `swip report FILE` — summarize a `report.json`; `swip report --diff
+//!   A B` — print the counter-level differences between two run reports.
 //!
 //! The parser is hand-rolled (the workspace's dependency budget is
 //! deliberately small) and returns structured [`Command`]s so it can be
@@ -61,6 +67,10 @@ pub enum Command {
         file: String,
         /// FTQ depth (defaults to the industry-standard 24).
         ftq: usize,
+        /// Write the scenario timeline as Chrome trace-event JSON here.
+        timeline: Option<String>,
+        /// Timeline sampling stride in cycles.
+        sample_stride: u64,
     },
     /// Run the AsmDB pipeline on a trace file.
     Asmdb {
@@ -94,6 +104,11 @@ pub enum Command {
         /// Directory for the on-disk trace cache.
         cache_dir: Option<String>,
     },
+    /// Summarize or diff structured run reports.
+    Report {
+        /// Run-report JSON paths: one (summary) or two (`--diff`).
+        files: Vec<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -118,11 +133,13 @@ USAGE:
   swip suite [--instructions N]
   swip gen <workload> --out FILE [--instructions N]
   swip inspect FILE
-  swip run FILE [--ftq N] [--conservative]
+  swip run FILE [--ftq N] [--conservative] [--timeline FILE [--sample-stride N]]
   swip asmdb FILE --out FILE [--aggressive]
   swip analyze FILE [--json]
   swip bench [--figure NAME] [--instructions N] [--stride N] [--threads K]
              [--asmdb default|aggressive|wide] [--cache-dir DIR]
+  swip report FILE
+  swip report --diff FILE FILE
   swip help
 ";
 
@@ -192,17 +209,29 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
                 .ok_or_else(|| UsageError("run requires a trace file".into()))?
                 .to_string();
             let mut ftq = 24usize;
+            let mut timeline = None;
+            let mut sample_stride = 64u64;
             while let Some(a) = it.next() {
                 match a {
                     "--ftq" => ftq = parse_num(take_value(&mut it, a)?)? as usize,
                     "--conservative" => ftq = 2,
+                    "--timeline" => timeline = Some(take_value(&mut it, a)?.to_string()),
+                    "--sample-stride" => sample_stride = parse_num(take_value(&mut it, a)?)?,
                     other => return Err(UsageError(format!("unknown flag {other}"))),
                 }
             }
             if ftq == 0 {
                 return Err(UsageError("--ftq must be positive".into()));
             }
-            Ok(Command::Run { file, ftq })
+            if sample_stride == 0 {
+                return Err(UsageError("--sample-stride must be positive".into()));
+            }
+            Ok(Command::Run {
+                file,
+                ftq,
+                timeline,
+                sample_stride,
+            })
         }
         "asmdb" => {
             let file = it
@@ -269,6 +298,26 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
                 cache_dir,
             })
         }
+        "report" => {
+            let mut diff = false;
+            let mut files = Vec::new();
+            for a in it {
+                match a {
+                    "--diff" => diff = true,
+                    flag if flag.starts_with("--") => {
+                        return Err(UsageError(format!("unknown flag {flag}")))
+                    }
+                    file => files.push(file.to_string()),
+                }
+            }
+            match (diff, files.len()) {
+                (false, 1) | (true, 2) => Ok(Command::Report { files }),
+                (false, _) => Err(UsageError("report requires exactly one FILE".into())),
+                (true, _) => Err(UsageError(
+                    "report --diff requires exactly two FILEs".into(),
+                )),
+            }
+        }
         other => Err(UsageError(format!("unknown subcommand {other}"))),
     }
 }
@@ -325,11 +374,31 @@ pub fn execute(cmd: Command) -> Result<(), Box<dyn Error>> {
             let trace = Trace::read_from(File::open(&file)?)?;
             println!("{}: {}", trace.name(), trace.summary());
         }
-        Command::Run { file, ftq } => {
+        Command::Run {
+            file,
+            ftq,
+            timeline,
+            sample_stride,
+        } => {
             let trace = Trace::read_from(File::open(&file)?)?;
-            let config = SimConfig::sunny_cove_like().with_ftq_entries(ftq);
+            let mut config = SimConfig::sunny_cove_like().with_ftq_entries(ftq);
+            if timeline.is_some() {
+                config.timeline = Some(swip_core::TimelineConfig {
+                    stride: sample_stride,
+                    capacity: 1 << 20,
+                });
+            }
             let report = Simulator::new(config).run(&trace);
             println!("{report}");
+            if let Some(out) = timeline {
+                let json = swip_report::to_chrome_trace(&report.timeline, sample_stride);
+                std::fs::write(&out, json)?;
+                println!(
+                    "wrote {out}: {} timeline samples ({} dropped by the ring buffer)",
+                    report.timeline.len(),
+                    report.timeline_dropped
+                );
+            }
         }
         Command::Asmdb {
             file,
@@ -386,6 +455,22 @@ pub fn execute(cmd: Command) -> Result<(), Box<dyn Error>> {
             let session = builder.build()?;
             swip_bench::figures::run_figure(&session, &figure)?;
         }
+        Command::Report { files } => {
+            let load = |path: &str| -> Result<swip_report::RunReport, Box<dyn Error>> {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| UsageError(format!("could not read {path}: {e}")))?;
+                Ok(swip_report::RunReport::from_json_str(&text)
+                    .map_err(|e| UsageError(format!("{path}: {e}")))?)
+            };
+            match files.as_slice() {
+                [file] => print!("{}", load(file)?.summary()),
+                [a, b] => {
+                    let diff = swip_report::ReportDiff::between(&load(a)?, &load(b)?);
+                    print!("{}", diff.render());
+                }
+                _ => unreachable!("parse() enforces one or two files"),
+            }
+        }
     }
     Ok(())
 }
@@ -422,14 +507,46 @@ mod tests {
             parse(&["run", "x.swip", "--ftq", "8"]),
             Ok(Command::Run {
                 file: "x.swip".into(),
-                ftq: 8
+                ftq: 8,
+                timeline: None,
+                sample_stride: 64
             })
         );
         assert_eq!(
             parse(&["run", "x.swip", "--conservative"]),
             Ok(Command::Run {
                 file: "x.swip".into(),
-                ftq: 2
+                ftq: 2,
+                timeline: None,
+                sample_stride: 64
+            })
+        );
+        assert_eq!(
+            parse(&[
+                "run",
+                "x.swip",
+                "--timeline",
+                "trace.json",
+                "--sample-stride",
+                "16"
+            ]),
+            Ok(Command::Run {
+                file: "x.swip".into(),
+                ftq: 24,
+                timeline: Some("trace.json".into()),
+                sample_stride: 16
+            })
+        );
+        assert_eq!(
+            parse(&["report", "a.json"]),
+            Ok(Command::Report {
+                files: vec!["a.json".into()]
+            })
+        );
+        assert_eq!(
+            parse(&["report", "--diff", "a.json", "b.json"]),
+            Ok(Command::Report {
+                files: vec!["a.json".into(), "b.json".into()]
             })
         );
         assert_eq!(
@@ -507,6 +624,12 @@ mod tests {
         assert!(parse(&["bench", "--asmdb", "bogus"]).is_err());
         assert!(parse(&["bench", "--threads"]).is_err());
         assert!(parse(&["bench", "--bogus"]).is_err());
+        assert!(parse(&["run", "x", "--sample-stride", "0"]).is_err());
+        assert!(parse(&["report"]).is_err());
+        assert!(parse(&["report", "a.json", "b.json"]).is_err());
+        assert!(parse(&["report", "--diff", "a.json"]).is_err());
+        assert!(parse(&["report", "--diff", "a", "b", "c"]).is_err());
+        assert!(parse(&["report", "--bogus", "a.json"]).is_err());
     }
 
     #[test]
@@ -534,11 +657,17 @@ mod tests {
         })
         .unwrap();
         execute(Command::Inspect { file: path.clone() }).unwrap();
+        let trace_json = dir.join("swip_cli_test_trace.json").display().to_string();
         execute(Command::Run {
             file: path.clone(),
             ftq: 4,
+            timeline: Some(trace_json.clone()),
+            sample_stride: 32,
         })
         .unwrap();
+        let text = std::fs::read_to_string(&trace_json).unwrap();
+        assert!(text.contains("traceEvents"));
+        let _ = std::fs::remove_file(&trace_json);
         execute(Command::Analyze {
             file: path.clone(),
             json: true,
@@ -559,6 +688,45 @@ mod tests {
         .unwrap_err();
         assert!(err.to_string().contains("error(s)"), "{err}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn report_summary_and_diff_round_trip() {
+        let dir = std::env::temp_dir();
+        let a = dir.join("swip_cli_report_a.json").display().to_string();
+        let b = dir.join("swip_cli_report_b.json").display().to_string();
+        let mut report = swip_report::RunReport::new("all", 1_000, 48, 1);
+        report.workloads.push(swip_report::WorkloadReport {
+            name: "w".into(),
+            job_seconds: 0.1,
+            configs: vec![swip_report::ConfigReport {
+                config: "ftq2_fdp".into(),
+                counters: vec![("cycles".into(), 100)],
+                values: vec![],
+            }],
+        });
+        report.seal();
+        std::fs::write(&a, report.to_json()).unwrap();
+        report.workloads[0].configs[0].counters[0].1 = 90;
+        std::fs::write(&b, report.to_json()).unwrap();
+
+        execute(Command::Report {
+            files: vec![a.clone()],
+        })
+        .unwrap();
+        execute(Command::Report {
+            files: vec![a.clone(), b.clone()],
+        })
+        .unwrap();
+        // A malformed file is a readable error, not a panic.
+        std::fs::write(&b, "{}").unwrap();
+        let err = execute(Command::Report {
+            files: vec![b.clone()],
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
     }
 
     #[test]

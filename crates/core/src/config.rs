@@ -1,7 +1,7 @@
 //! Whole-simulator configuration (the paper's Table I).
 
-use swip_cache::HierarchyConfig;
-use swip_frontend::FrontendConfig;
+use swip_cache::{ConfigError, HierarchyConfig};
+use swip_frontend::{FrontendConfig, TimelineConfig};
 
 use crate::BackendConfig;
 
@@ -22,6 +22,9 @@ pub struct SimConfig {
     pub max_cycles_per_instr: u64,
     /// Record per-line L1-I miss counts in the report (AsmDB profiling).
     pub collect_line_profile: bool,
+    /// Record a cycle-sampled scenario timeline in the report (telemetry;
+    /// `None` disables sampling and costs nothing).
+    pub timeline: Option<TimelineConfig>,
 }
 
 impl SimConfig {
@@ -34,6 +37,7 @@ impl SimConfig {
             backend: BackendConfig::default(),
             max_cycles_per_instr: 200,
             collect_line_profile: false,
+            timeline: None,
         }
     }
 
@@ -56,7 +60,20 @@ impl SimConfig {
             backend: BackendConfig::tiny(),
             max_cycles_per_instr: 500,
             collect_line_profile: false,
+            timeline: None,
         }
+    }
+
+    /// Validates the configuration's structure geometries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] from
+    /// [`HierarchyConfig::validate`], naming the offending structure, so
+    /// callers (e.g. `swip bench`) can print a message instead of
+    /// panicking mid-run.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.memory.validate()
     }
 
     /// This configuration with a different FTQ depth (parameter sweeps).
@@ -168,6 +185,15 @@ mod tests {
         for required in ["FTQ", "BTB", "RAS", "ROB", "L1I", "LLC", "DRAM"] {
             assert!(keys.contains(&required), "missing Table I row {required}");
         }
+    }
+
+    #[test]
+    fn validate_surfaces_hierarchy_errors() {
+        let mut cfg = SimConfig::sunny_cove_like();
+        assert_eq!(cfg.validate(), Ok(()));
+        cfg.memory.l1i.sets = 48;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("L1I"), "{err}");
     }
 
     #[test]

@@ -38,6 +38,9 @@ pub use backend::{Backend, BackendConfig, BackendStats, ResolvedBranch};
 pub use config::SimConfig;
 pub use report::SimReport;
 pub use simulator::{PrefetchHints, PreloadMetadata, Simulator};
+// Re-exported so `SimConfig::timeline` is configurable (and the resulting
+// `SimReport::timeline` consumable) without a direct swip-frontend dep.
+pub use swip_frontend::{TimelineConfig, TimelineSample};
 
 // The bench crate's parallel experiment engine shares `Simulator`s and
 // `SimConfig`s across worker threads; keep them (and everything a job

@@ -4,7 +4,7 @@ use std::fmt;
 
 use swip_branch::BranchStats;
 use swip_cache::{CacheStats, HierarchyStats};
-use swip_frontend::FtqStats;
+use swip_frontend::{FtqStats, TimelineSample};
 
 use crate::BackendStats;
 
@@ -47,6 +47,12 @@ pub struct SimReport {
     /// Per-line L1-I demand misses (line number → count); populated only
     /// when the run was configured with `collect_line_profile`.
     pub line_misses: std::collections::HashMap<u64, u64>,
+    /// Cycle-sampled scenario timeline (oldest first); populated only when
+    /// the run was configured with a `timeline` sampler.
+    pub timeline: Vec<TimelineSample>,
+    /// Timeline samples evicted by the sampler's capacity bound (the head
+    /// of the run is lost first).
+    pub timeline_dropped: u64,
     /// False if the run hit the cycle watchdog before draining.
     pub completed: bool,
 }
@@ -134,6 +140,8 @@ mod tests {
             hierarchy: HierarchyStats::default(),
             backend: BackendStats::default(),
             line_misses: std::collections::HashMap::new(),
+            timeline: Vec::new(),
+            timeline_dropped: 0,
             completed: true,
         }
     }

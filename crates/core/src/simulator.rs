@@ -79,6 +79,9 @@ impl Simulator {
         if let Some((metadata, cfg)) = preload {
             frontend.set_preload_metadata(metadata.clone(), cfg);
         }
+        if let Some(timeline) = self.config.timeline {
+            frontend.enable_timeline(timeline);
+        }
         let mut mem = MemoryHierarchy::new(self.config.memory.clone());
         if self.config.collect_line_profile {
             mem.enable_line_profile();
@@ -132,6 +135,13 @@ impl Simulator {
         let useful = instructions - prefetch_instructions;
         let cycles = now.max(1);
         let l1i = *mem.l1i_stats();
+        let (timeline, timeline_dropped) = match frontend.take_timeline() {
+            Some(t) => {
+                let dropped = t.dropped();
+                (t.into_samples(), dropped)
+            }
+            None => (Vec::new(), 0),
+        };
         SimReport {
             workload: trace.name().to_string(),
             instructions,
@@ -148,6 +158,8 @@ impl Simulator {
             hierarchy: *mem.stats(),
             backend: *backend.stats(),
             line_misses: mem.line_profile(),
+            timeline,
+            timeline_dropped,
             completed,
         }
     }
@@ -327,6 +339,29 @@ mod tests {
         let r = Simulator::new(cfg).run(&b.finish());
         assert!(!r.completed);
         assert!(r.instructions < 60_000);
+    }
+
+    #[test]
+    fn timeline_config_populates_report_samples() {
+        let trace = straight_line(2000);
+        let mut cfg = SimConfig::test_scale();
+        cfg.timeline = Some(swip_frontend::TimelineConfig {
+            stride: 8,
+            capacity: 128,
+        });
+        let r = Simulator::new(cfg).run(&trace);
+        assert!(r.completed);
+        assert!(!r.timeline.is_empty());
+        assert!(r.timeline.len() <= 128);
+        assert!(r.timeline.iter().all(|s| s.cycle % 8 == 0));
+        assert!(
+            r.timeline.windows(2).all(|w| w[0].cycle < w[1].cycle),
+            "samples must be ordered by cycle"
+        );
+        // Disabled by default: no samples, no cost.
+        let plain = sim().run(&trace);
+        assert!(plain.timeline.is_empty());
+        assert_eq!(plain.timeline_dropped, 0);
     }
 
     #[test]

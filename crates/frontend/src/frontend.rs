@@ -10,6 +10,7 @@ use swip_types::{Addr, Cycle, InstrKind, Instruction, SeqNum};
 
 use crate::entry::{FtqEntry, LineState};
 use crate::stats::{FtqStats, Scenario};
+use crate::timeline::{ScenarioTimeline, TimelineConfig};
 use crate::{FrontendConfig, PreloadConfig};
 
 /// An instruction handed from the front-end to decode/dispatch.
@@ -109,6 +110,8 @@ pub struct Frontend {
     /// L1-side cache (insertion-ordered for FIFO replacement), and metadata
     /// requests in flight.
     preload: Option<PreloadState>,
+    /// Optional strided scenario sampler (telemetry, off by default).
+    timeline: Option<ScenarioTimeline>,
     stats: FtqStats,
 }
 
@@ -151,9 +154,26 @@ impl Frontend {
             mispredicted: HashSet::new(),
             hints: HashMap::new(),
             preload: None,
+            timeline: None,
             stats: FtqStats::default(),
             config,
         }
+    }
+
+    /// Enables the cycle-sampled scenario timeline. Telemetry only: it does
+    /// not affect simulation results.
+    pub fn enable_timeline(&mut self, config: TimelineConfig) {
+        self.timeline = Some(ScenarioTimeline::new(config));
+    }
+
+    /// The scenario timeline, if enabled.
+    pub fn timeline(&self) -> Option<&ScenarioTimeline> {
+        self.timeline.as_ref()
+    }
+
+    /// Detaches the scenario timeline (if enabled), leaving it disabled.
+    pub fn take_timeline(&mut self) -> Option<ScenarioTimeline> {
+        self.timeline.take()
     }
 
     /// Installs no-overhead software-prefetch hints: when an instruction at
@@ -204,7 +224,7 @@ impl Frontend {
 
     /// True once the whole trace has been enqueued and drained to decode.
     pub fn is_done(&self, trace: &Trace) -> bool {
-        self.cursor as usize >= trace.len() && self.ftq.is_empty()
+        !cursor_in_bounds(self.cursor, trace.len()) && self.ftq.is_empty()
     }
 
     /// Runs one front-end cycle: unblock, pre-decode, fill, fetch-issue,
@@ -321,7 +341,7 @@ impl Frontend {
         let mut blocks = 0;
         while blocks < self.config.fill_blocks_per_cycle
             && !self.ftq.is_full()
-            && (self.cursor as usize) < trace.len()
+            && cursor_in_bounds(self.cursor, trace.len())
             && self.blocked.is_none()
         {
             let entry = self.form_block(now, trace, mem);
@@ -348,7 +368,7 @@ impl Frontend {
         let mut entry = FtqEntry::new(self.cursor, now);
         let instrs = trace.instructions();
         while (entry.count as usize) < self.config.max_block_instrs
-            && (self.cursor as usize) < instrs.len()
+            && cursor_in_bounds(self.cursor, instrs.len())
         {
             let seq = self.cursor;
             let instr = &instrs[seq as usize];
@@ -526,7 +546,11 @@ impl Frontend {
         if self.blocked.is_some() {
             self.stats.fill_blocked_cycles.incr();
         }
-        match self.scenario(now) {
+        let scenario = self.scenario(now);
+        if let Some(timeline) = self.timeline.as_mut() {
+            timeline.record(now, scenario);
+        }
+        match scenario {
             Scenario::Empty => self.stats.empty_cycles.incr(),
             Scenario::ShootThrough => self.stats.s1_cycles.incr(),
             Scenario::StallingHead => {
@@ -657,6 +681,16 @@ impl Frontend {
             }
         }
     }
+}
+
+/// True while the fill cursor still points inside the trace.
+///
+/// The comparison is done in `u64` space: the cursor is a [`SeqNum`] and
+/// casting it to `usize` truncates on 32-bit targets once a trace reaches
+/// 2^32 instructions, which would wrap the cursor back into bounds and
+/// re-enqueue the trace from the start.
+fn cursor_in_bounds(cursor: SeqNum, trace_len: usize) -> bool {
+    cursor < trace_len as u64
 }
 
 /// Consults the metadata structures for an L1-I access to `line`: an
@@ -1036,6 +1070,40 @@ mod tests {
         let head = ftq.head().unwrap();
         assert_eq!(head.seq_range().0, 0);
         assert_eq!(ftq.iter().count(), ftq.len());
+    }
+
+    #[test]
+    fn timeline_samples_when_enabled() {
+        let trace = straight_line(256);
+        let mut fe = Frontend::new(config(4));
+        fe.enable_timeline(crate::TimelineConfig {
+            stride: 2,
+            capacity: 64,
+        });
+        let mut mem = tiny_mem();
+        run_to_completion(&mut fe, &trace, &mut mem, 1_000_000);
+        let t = fe.timeline().expect("timeline was enabled");
+        assert!(!t.is_empty());
+        assert!(t.samples().all(|s| s.cycle % 2 == 0), "stride respected");
+        let taken = fe.take_timeline().expect("take returns the sampler");
+        assert!(fe.timeline().is_none());
+        assert!(taken.len() <= 64);
+    }
+
+    #[test]
+    fn cursor_bounds_check_survives_the_32_bit_boundary() {
+        // Regression: the cursor used to be narrowed with `as usize` before
+        // comparing against `trace.len()`. On a 32-bit target a cursor of
+        // 2^32 truncates to 0 — "in bounds" again — so fill would loop
+        // forever re-enqueueing the trace. Comparing in u64 space is
+        // immune; exercise the exact boundary values.
+        const B: u64 = 1 << 32;
+        assert!(!cursor_in_bounds(B, 0));
+        assert!(!cursor_in_bounds(B, 1)); // truncation would say "in bounds"
+        assert!(!cursor_in_bounds(B + 5, 10)); // ... and so would B + 5
+        assert!(!cursor_in_bounds(u64::MAX, usize::MAX));
+        assert!(cursor_in_bounds(0, 1));
+        assert!(!cursor_in_bounds(1, 1));
     }
 
     #[test]

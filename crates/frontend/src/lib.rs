@@ -53,8 +53,10 @@ mod config;
 mod entry;
 mod frontend;
 mod stats;
+mod timeline;
 
 pub use config::{FrontendConfig, PreloadConfig};
 pub use entry::{FtqEntry, LineState};
 pub use frontend::{DecodedInstr, Frontend, Ftq};
 pub use stats::{FtqStats, Scenario};
+pub use timeline::{ScenarioTimeline, TimelineConfig, TimelineSample};

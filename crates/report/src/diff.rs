@@ -1,0 +1,242 @@
+//! Counter diffs between two run reports.
+//!
+//! `swip report --diff a.json b.json` loads two [`RunReport`]s and renders
+//! the per-counter deltas. The diff is keyed on (workload, config, counter)
+//! so reports from differently-scoped runs still line up on their shared
+//! subset; entries present on only one side are listed separately instead
+//! of being silently dropped.
+
+use crate::run_report::RunReport;
+
+/// One counter that differs between two reports.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CounterDelta {
+    /// Workload the counter belongs to.
+    pub workload: String,
+    /// Configuration label within the workload.
+    pub config: String,
+    /// Dotted counter name.
+    pub counter: String,
+    /// Value in the first (old) report.
+    pub before: u64,
+    /// Value in the second (new) report.
+    pub after: u64,
+}
+
+impl CounterDelta {
+    /// Signed change from `before` to `after`.
+    pub fn delta(&self) -> i128 {
+        self.after as i128 - self.before as i128
+    }
+
+    /// Relative change, or `None` when `before` is zero.
+    pub fn relative(&self) -> Option<f64> {
+        if self.before == 0 {
+            None
+        } else {
+            Some(self.delta() as f64 / self.before as f64)
+        }
+    }
+}
+
+/// The structured difference between two run reports.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ReportDiff {
+    /// True when both reports carry the same configuration fingerprint.
+    pub same_fingerprint: bool,
+    /// Counters present in both reports with different values.
+    pub changed: Vec<CounterDelta>,
+    /// (workload, config, counter) keys only in the first report.
+    pub only_in_first: Vec<String>,
+    /// (workload, config, counter) keys only in the second report.
+    pub only_in_second: Vec<String>,
+    /// Counters compared in total (shared keys, changed or not).
+    pub compared: u64,
+}
+
+impl ReportDiff {
+    /// Compares two reports counter-by-counter.
+    pub fn between(a: &RunReport, b: &RunReport) -> Self {
+        let mut diff = ReportDiff {
+            same_fingerprint: !a.fingerprint.is_empty() && a.fingerprint == b.fingerprint,
+            ..ReportDiff::default()
+        };
+        for wa in &a.workloads {
+            let Some(wb) = b.workload(&wa.name) else {
+                for c in &wa.configs {
+                    diff.only_in_first.push(format!("{}/{}", wa.name, c.config));
+                }
+                continue;
+            };
+            for ca in &wa.configs {
+                let Some(cb) = wb.config(&ca.config) else {
+                    diff.only_in_first
+                        .push(format!("{}/{}", wa.name, ca.config));
+                    continue;
+                };
+                for (name, before) in &ca.counters {
+                    let Some(after) = cb.counter(name) else {
+                        diff.only_in_first
+                            .push(format!("{}/{}/{}", wa.name, ca.config, name));
+                        continue;
+                    };
+                    diff.compared += 1;
+                    if *before != after {
+                        diff.changed.push(CounterDelta {
+                            workload: wa.name.clone(),
+                            config: ca.config.clone(),
+                            counter: name.clone(),
+                            before: *before,
+                            after,
+                        });
+                    }
+                }
+                for (name, _) in &cb.counters {
+                    if ca.counter(name).is_none() {
+                        diff.only_in_second
+                            .push(format!("{}/{}/{}", wa.name, ca.config, name));
+                    }
+                }
+            }
+            for cb in &wb.configs {
+                if wa.config(&cb.config).is_none() {
+                    diff.only_in_second
+                        .push(format!("{}/{}", wa.name, cb.config));
+                }
+            }
+        }
+        for wb in &b.workloads {
+            if a.workload(&wb.name).is_none() {
+                for c in &wb.configs {
+                    diff.only_in_second
+                        .push(format!("{}/{}", wb.name, c.config));
+                }
+            }
+        }
+        diff
+    }
+
+    /// True when every shared counter matched and neither side had extras.
+    pub fn is_clean(&self) -> bool {
+        self.changed.is_empty() && self.only_in_first.is_empty() && self.only_in_second.is_empty()
+    }
+
+    /// Renders the diff as the text `swip report --diff` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(if self.same_fingerprint {
+            "fingerprints match: same experiment configuration\n"
+        } else {
+            "fingerprints differ: reports measure different configurations\n"
+        });
+        if self.is_clean() {
+            out.push_str(&format!(
+                "identical: all {} shared counters match\n",
+                self.compared
+            ));
+            return out;
+        }
+        for d in &self.changed {
+            let rel = match d.relative() {
+                Some(r) => format!(" ({:+.2}%)", r * 100.0),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "{}/{}/{}: {} -> {} [{:+}]{}\n",
+                d.workload,
+                d.config,
+                d.counter,
+                d.before,
+                d.after,
+                d.delta(),
+                rel
+            ));
+        }
+        for k in &self.only_in_first {
+            out.push_str(&format!("only in first: {k}\n"));
+        }
+        for k in &self.only_in_second {
+            out.push_str(&format!("only in second: {k}\n"));
+        }
+        out.push_str(&format!(
+            "{} changed of {} shared counters\n",
+            self.changed.len(),
+            self.compared
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_report::{ConfigReport, WorkloadReport};
+
+    fn report(cycles: u64) -> RunReport {
+        let mut r = RunReport::new("all", 1000, 16, 1);
+        r.workloads.push(WorkloadReport {
+            name: "w".into(),
+            job_seconds: 0.5,
+            configs: vec![ConfigReport {
+                config: "ftq2_fdp".into(),
+                counters: vec![("cycles".into(), cycles), ("instructions".into(), 1000)],
+                values: vec![],
+            }],
+        });
+        r.seal();
+        r
+    }
+
+    #[test]
+    fn identical_reports_diff_clean() {
+        let d = ReportDiff::between(&report(500), &report(500));
+        assert!(d.is_clean());
+        assert!(d.same_fingerprint);
+        assert_eq!(d.compared, 2);
+        assert!(d.render().contains("identical"));
+    }
+
+    #[test]
+    fn changed_counters_are_listed_with_deltas() {
+        let d = ReportDiff::between(&report(500), &report(450));
+        assert_eq!(d.changed.len(), 1);
+        let c = &d.changed[0];
+        assert_eq!(c.delta(), -50);
+        assert_eq!(c.relative(), Some(-0.1));
+        assert!(d.render().contains("w/ftq2_fdp/cycles: 500 -> 450 [-50]"));
+    }
+
+    #[test]
+    fn asymmetric_keys_are_reported_not_dropped() {
+        let a = report(500);
+        let mut b = report(500);
+        b.workloads[0].configs[0].counters.push(("extra".into(), 7));
+        b.workloads[0].configs.push(ConfigReport {
+            config: "ftq24_fdp".into(),
+            counters: vec![],
+            values: vec![],
+        });
+        b.seal();
+        let d = ReportDiff::between(&a, &b);
+        assert!(!d.same_fingerprint, "config matrix changed");
+        assert_eq!(
+            d.only_in_second,
+            vec!["w/ftq2_fdp/extra".to_string(), "w/ftq24_fdp".to_string()]
+        );
+        assert!(d.only_in_first.is_empty());
+        assert!(!d.is_clean());
+    }
+
+    #[test]
+    fn relative_change_guards_division_by_zero() {
+        let d = CounterDelta {
+            workload: "w".into(),
+            config: "c".into(),
+            counter: "k".into(),
+            before: 0,
+            after: 5,
+        };
+        assert_eq!(d.relative(), None);
+        assert_eq!(d.delta(), 5);
+    }
+}

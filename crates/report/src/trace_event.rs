@@ -1,0 +1,132 @@
+//! Chrome trace-event export of the scenario timeline.
+//!
+//! Converts the cycle-sampled [`ScenarioTimeline`] samples into the Trace
+//! Event JSON format understood by `chrome://tracing` and Perfetto: one
+//! complete ("X") event per sample, with the simulated cycle as the
+//! timestamp and the sample stride as the duration, on one track per
+//! scenario so the S1/S2/S3/empty bands stack visually.
+
+use swip_frontend::{Scenario, TimelineSample};
+
+use crate::json::Json;
+
+/// Stable track/name label for a scenario.
+fn scenario_label(s: Scenario) -> &'static str {
+    match s {
+        Scenario::ShootThrough => "S1 shoot-through",
+        Scenario::StallingHead => "S2 stalling-head",
+        Scenario::ShadowStall => "S3 shadow-stall",
+        Scenario::Empty => "empty",
+    }
+}
+
+/// Trace-viewer thread id for a scenario, so each scenario renders as its
+/// own row.
+fn scenario_tid(s: Scenario) -> u64 {
+    match s {
+        Scenario::ShootThrough => 1,
+        Scenario::StallingHead => 2,
+        Scenario::ShadowStall => 3,
+        Scenario::Empty => 4,
+    }
+}
+
+/// Renders timeline samples as a Chrome trace-event JSON document.
+///
+/// `stride` is the sampling stride the timeline was recorded with; it
+/// becomes each event's duration so adjacent samples tile the time axis.
+/// Timestamps are simulated cycles (the viewer labels them as µs; the
+/// unit is fictional either way).
+pub fn to_chrome_trace(samples: &[TimelineSample], stride: u64) -> String {
+    let dur = stride.max(1);
+    let events: Vec<Json> = samples
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(scenario_label(s.scenario).into())),
+                ("cat".into(), Json::Str("scenario".into())),
+                ("ph".into(), Json::Str("X".into())),
+                ("ts".into(), Json::U64(s.cycle)),
+                ("dur".into(), Json::U64(dur)),
+                ("pid".into(), Json::U64(0)),
+                ("tid".into(), Json::U64(scenario_tid(s.scenario))),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("traceEvents".into(), Json::Arr(events)),
+        ("displayTimeUnit".into(), Json::Str("ms".into())),
+    ])
+    .render_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn samples() -> Vec<TimelineSample> {
+        vec![
+            TimelineSample {
+                cycle: 0,
+                scenario: Scenario::Empty,
+            },
+            TimelineSample {
+                cycle: 64,
+                scenario: Scenario::ShootThrough,
+            },
+            TimelineSample {
+                cycle: 128,
+                scenario: Scenario::StallingHead,
+            },
+        ]
+    }
+
+    #[test]
+    fn export_is_valid_trace_event_json() {
+        let text = to_chrome_trace(&samples(), 64);
+        let doc = Json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 3);
+        let e = &events[1];
+        assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(e.get("ts").and_then(Json::as_u64), Some(64));
+        assert_eq!(e.get("dur").and_then(Json::as_u64), Some(64));
+        assert_eq!(
+            e.get("name").and_then(Json::as_str),
+            Some("S1 shoot-through")
+        );
+    }
+
+    #[test]
+    fn each_scenario_gets_its_own_track() {
+        let text = to_chrome_trace(&samples(), 64);
+        let doc = Json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let tids: Vec<u64> = events
+            .iter()
+            .map(|e| e.get("tid").and_then(Json::as_u64).unwrap())
+            .collect();
+        assert_eq!(tids, vec![4, 1, 2]);
+    }
+
+    #[test]
+    fn zero_stride_still_produces_nonzero_durations() {
+        let text = to_chrome_trace(&samples()[..1], 0);
+        let doc = Json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(events[0].get("dur").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn empty_timeline_exports_an_empty_event_array() {
+        let text = to_chrome_trace(&[], 64);
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("traceEvents")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(0)
+        );
+    }
+}

@@ -135,6 +135,11 @@ impl fmt::Display for Ratio {
 
 /// An online arithmetic mean over `u64` samples.
 ///
+/// The sum is accumulated in `u128`: with `u64` samples and a `u64` sample
+/// count the accumulator cannot overflow, so long runs never saturate and
+/// silently bias the mean downward (the Fig-8 fetch-latency means are built
+/// from exactly this type).
+///
 /// # Examples
 ///
 /// ```
@@ -148,7 +153,7 @@ impl fmt::Display for Ratio {
 /// ```
 #[derive(Copy, Clone, PartialEq, Eq, Default, Debug)]
 pub struct RunningMean {
-    sum: u64,
+    sum: u128,
     count: u64,
     max: u64,
 }
@@ -165,7 +170,7 @@ impl RunningMean {
 
     /// Adds a sample.
     pub fn push(&mut self, sample: u64) {
-        self.sum = self.sum.saturating_add(sample);
+        self.sum += sample as u128;
         self.count += 1;
         self.max = self.max.max(sample);
     }
@@ -184,8 +189,8 @@ impl RunningMean {
         self.count
     }
 
-    /// Sum of samples.
-    pub const fn sum(self) -> u64 {
+    /// Sum of samples (exact: `u64::MAX` samples of `u64::MAX` still fit).
+    pub const fn sum(self) -> u128 {
         self.sum
     }
 
@@ -258,6 +263,27 @@ mod tests {
         assert_eq!(r.misses(), 5);
         assert_eq!(r.total(), 10);
         assert_eq!(r.rate(), 0.5);
+    }
+
+    #[test]
+    fn running_mean_does_not_saturate_on_huge_sums() {
+        // Regression: `sum` used to be a saturating u64, so a long run of
+        // large samples pinned the sum at u64::MAX and biased the mean
+        // (Fig 8) downward. The u128 accumulator keeps it exact.
+        let mut m = RunningMean::new();
+        m.push(u64::MAX);
+        m.push(u64::MAX);
+        m.push(u64::MAX);
+        assert_eq!(m.sum(), 3 * u64::MAX as u128);
+        assert_eq!(m.count(), 3);
+        let expected = u64::MAX as f64;
+        assert!(
+            (m.mean() - expected).abs() <= expected * 1e-12,
+            "mean {} drifted from {}",
+            m.mean(),
+            expected
+        );
+        assert_eq!(m.max(), u64::MAX);
     }
 
     #[test]

@@ -28,4 +28,13 @@ for f in fig1 fig7 fig8 fig9 fig10 fig11 scenarios; do
 done
 echo "all 7 figure TSVs present and non-empty"
 
+report="target/experiments/report.json"
+if ! [ -s "$report" ]; then
+    echo "FAIL: $report missing or empty" >&2
+    exit 1
+fi
+echo "==> swip report $report"
+cargo run -p swip-cli --release --quiet -- report "$report"
+echo "structured run report present and loadable"
+
 echo "All checks passed."

@@ -1,0 +1,144 @@
+//! Golden correspondence between the structured `RunReport` and the figure
+//! TSVs: every number the TSV emitters print must be recomputable from the
+//! report's flattened counters and values, and the report must survive a
+//! disk round trip bit-for-bit.
+
+use swip_bench::{build_run_report, ConfigId, ExperimentPlan, SessionBuilder};
+use swip_report::RunReport;
+
+fn sweep() -> (swip_bench::Session, Vec<swip_bench::WorkloadResults>) {
+    let session = SessionBuilder::new()
+        .instructions(20_000)
+        .stride(24) // two workloads
+        .threads(2)
+        .build()
+        .unwrap();
+    let plan = ExperimentPlan::all_figures(session.workloads());
+    let results = session.run(&plan).unwrap();
+    (session, results)
+}
+
+#[test]
+fn report_counters_reproduce_the_counter_figures() {
+    let (session, results) = sweep();
+    let report = build_run_report(&session, "all", &results);
+
+    // Figures 9/10/11 are straight counter dumps in ConfigId::ALL order;
+    // the report must carry the identical integers under its dotted names.
+    for r in &results {
+        let w = report.workload(r.name()).expect("workload present");
+        for id in ConfigId::ALL {
+            let sim = r.report(id);
+            let c = w.config(id.label()).expect("config present");
+            assert_eq!(
+                c.counter("ftq.head_stall_cycles"),
+                Some(sim.frontend.head_stall_cycles.get()),
+                "fig9 cell for {}/{}",
+                r.name(),
+                id.label()
+            );
+            assert_eq!(
+                c.counter("ftq.entries_waiting_on_head"),
+                Some(sim.frontend.entries_waiting_on_head.get()),
+                "fig10 cell"
+            );
+            assert_eq!(
+                c.counter("ftq.partially_covered_entries"),
+                Some(sim.frontend.partially_covered_entries.get()),
+                "fig11 cell"
+            );
+        }
+    }
+}
+
+#[test]
+fn report_values_reproduce_fig1_speedup_rows() {
+    let (session, results) = sweep();
+    let report = build_run_report(&session, "all", &results);
+
+    for r in &results {
+        let w = report.workload(r.name()).unwrap();
+        let base_ipc = w
+            .config(ConfigId::Base.label())
+            .and_then(|c| c.value("effective_ipc"))
+            .unwrap();
+        // fig1_row prints five speedup columns at 4 decimal places; the
+        // same numbers must fall out of the report's effective IPCs.
+        let row = swip_bench::figures::fig1_row(r);
+        let cells: Vec<&str> = row.split('\t').collect();
+        assert_eq!(cells[0], r.name());
+        let order = [
+            ConfigId::AsmdbCons,
+            ConfigId::AsmdbConsNoov,
+            ConfigId::Fdp,
+            ConfigId::AsmdbFdp,
+            ConfigId::AsmdbFdpNoov,
+        ];
+        for (cell, id) in cells[1..].iter().zip(order) {
+            let ipc = w
+                .config(id.label())
+                .and_then(|c| c.value("effective_ipc"))
+                .unwrap();
+            let expected = format!("{:.4}", ipc / base_ipc);
+            assert_eq!(*cell, expected, "{} column {}", r.name(), id.label());
+        }
+    }
+}
+
+#[test]
+fn report_fractions_reproduce_the_scenario_table() {
+    let (session, results) = sweep();
+    let report = build_run_report(&session, "all", &results);
+
+    for r in &results {
+        let w = report.workload(r.name()).unwrap();
+        for id in ConfigId::ALL {
+            let (s1, s2, s3, empty) = r.report(id).frontend.scenario_fractions();
+            let c = w.config(id.label()).unwrap();
+            for (name, expected) in [
+                ("s1_frac", s1),
+                ("s2_frac", s2),
+                ("s3_frac", s3),
+                ("empty_frac", empty),
+            ] {
+                assert_eq!(c.value(name), Some(expected), "{name} for {}", r.name());
+            }
+            // The scenario cycle counters partition the total cycle count,
+            // so the fractions in the TSV are recomputable exactly.
+            let total: u64 = ["ftq.s1_cycles", "ftq.s2_cycles", "ftq.s3_cycles"]
+                .iter()
+                .map(|k| c.counter(k).unwrap())
+                .sum::<u64>()
+                + c.counter("ftq.empty_cycles").unwrap();
+            assert_eq!(c.counter("ftq.cycles"), Some(total));
+        }
+    }
+}
+
+#[test]
+fn report_survives_a_disk_round_trip() {
+    let (session, results) = sweep();
+    let report = build_run_report(&session, "all", &results);
+    assert_eq!(report.compute_fingerprint(), report.fingerprint);
+
+    let path = std::env::temp_dir().join("swip_report_golden.json");
+    std::fs::write(&path, report.to_json()).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let back = RunReport::from_json_str(&text).unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(back, report);
+    // Re-serialization is deterministic: same bytes, same fingerprint.
+    assert_eq!(back.to_json(), text);
+    assert_eq!(back.fingerprint, report.fingerprint);
+
+    // Session bookkeeping made it into the document.
+    assert_eq!(
+        back.session_counter("trace_generations"),
+        Some(results.len() as u64)
+    );
+    assert_eq!(
+        back.session_counter("sim_runs"),
+        Some(6 * results.len() as u64)
+    );
+}
