@@ -30,6 +30,7 @@ fn variants() -> [SimConfig; 5] {
 }
 
 fn run() -> Result<(), BenchError> {
+    #[allow(deprecated)] // the figure binaries keep the SWIP_* shim alive
     let session = SessionBuilder::from_env().build()?;
     let specs = session.workloads();
     let per_workload = session.par_map(&specs, |_, spec| {

@@ -8,6 +8,7 @@ use std::process::ExitCode;
 use swip_bench::{figures, BenchError, ExperimentPlan, SessionBuilder};
 
 fn run() -> Result<(), BenchError> {
+    #[allow(deprecated)] // the figure binaries keep the SWIP_* shim alive
     let session = SessionBuilder::from_env().build()?;
     let plan = ExperimentPlan::all_figures(session.workloads());
     let results = session.run_streaming(&plan, |r| eprintln!("{}", figures::fig1_row(r)))?;

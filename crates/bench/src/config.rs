@@ -61,6 +61,12 @@ impl ConfigId {
         }
     }
 
+    /// The inverse of [`ConfigId::label`]: resolves a label from a wire
+    /// plan (`swip-serve` job submissions) or a report back to its id.
+    pub fn from_label(label: &str) -> Option<Self> {
+        ConfigId::ALL.into_iter().find(|id| id.label() == label)
+    }
+
     /// Whether this configuration consumes the AsmDB pipeline's output
     /// (rewritten trace or no-overhead hints).
     pub fn needs_asmdb(self) -> bool {
@@ -145,6 +151,14 @@ mod tests {
     fn ftq_depth_per_config() {
         assert_eq!(ConfigId::Base.sim_config().frontend.ftq_entries, 2);
         assert_eq!(ConfigId::AsmdbFdp.sim_config().frontend.ftq_entries, 24);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for id in ConfigId::ALL {
+            assert_eq!(ConfigId::from_label(id.label()), Some(id));
+        }
+        assert_eq!(ConfigId::from_label("ftq48_fdp"), None);
     }
 
     #[test]

@@ -65,8 +65,8 @@ mod session;
 
 pub use config::{AsmdbTuning, ConfigId};
 pub use engine::EngineError;
-pub use plan::ExperimentPlan;
-pub use report::{build_run_report, emit_report};
+pub use plan::{ExperimentPlan, PlanError};
+pub use report::{build_plan_report, build_run_report, emit_report, session_counter_pairs};
 pub use results::WorkloadResults;
 pub use session::{BuildError, Session, SessionBuilder, SessionCounters};
 

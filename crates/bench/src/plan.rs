@@ -1,9 +1,47 @@
 //! [`ExperimentPlan`]: the deduplicated workload × configuration job
 //! matrix a [`Session`](crate::Session) executes.
 
+use std::fmt;
+
+use swip_report::PlanSpec;
 use swip_workloads::WorkloadSpec;
 
 use crate::ConfigId;
+
+/// A typed rejection while resolving a [`PlanSpec`] against a session's
+/// workload suite.
+///
+/// Resolution failures are admission errors: `swip-serve` maps them to
+/// HTTP 400 before a job is ever queued, so a typo'd workload name can
+/// never reach a worker.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PlanError {
+    /// The spec named a workload the session is not scoped to (wrong name,
+    /// or excluded by the session's stride).
+    UnknownWorkload(String),
+    /// The spec named a configuration label that does not exist.
+    UnknownConfig(String),
+    /// The spec resolved to zero jobs.
+    Empty,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownWorkload(name) => {
+                write!(f, "unknown workload {name:?} (not in this session's suite)")
+            }
+            PlanError::UnknownConfig(label) => write!(
+                f,
+                "unknown configuration {label:?} (expected one of: {})",
+                ConfigId::ALL.map(ConfigId::label).join(", ")
+            ),
+            PlanError::Empty => write!(f, "plan resolves to zero jobs"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// A deduplicated experiment matrix: every (workload, configuration) pair
 /// becomes one independent job on the session's thread pool.
@@ -40,6 +78,56 @@ impl ExperimentPlan {
     /// The full six-configuration plan behind Figures 1 and 9–11.
     pub fn all_figures(workloads: Vec<WorkloadSpec>) -> Self {
         Self::new(workloads, &ConfigId::ALL)
+    }
+
+    /// Resolves a wire [`PlanSpec`] against the workloads `available` to
+    /// this session. An empty axis in the spec selects everything on that
+    /// axis; names and labels are matched exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::UnknownWorkload`] / [`PlanError::UnknownConfig`] for
+    /// names that do not resolve, and [`PlanError::Empty`] when the plan
+    /// would contain zero jobs.
+    pub fn from_spec(spec: &PlanSpec, available: &[WorkloadSpec]) -> Result<Self, PlanError> {
+        let workloads: Vec<WorkloadSpec> = if spec.workloads.is_empty() {
+            available.to_vec()
+        } else {
+            spec.workloads
+                .iter()
+                .map(|name| {
+                    available
+                        .iter()
+                        .find(|w| &w.name == name)
+                        .cloned()
+                        .ok_or_else(|| PlanError::UnknownWorkload(name.clone()))
+                })
+                .collect::<Result<_, _>>()?
+        };
+        let configs: Vec<ConfigId> = if spec.configs.is_empty() {
+            ConfigId::ALL.to_vec()
+        } else {
+            spec.configs
+                .iter()
+                .map(|label| {
+                    ConfigId::from_label(label)
+                        .ok_or_else(|| PlanError::UnknownConfig(label.clone()))
+                })
+                .collect::<Result<_, _>>()?
+        };
+        let plan = Self::new(workloads, &configs);
+        if plan.is_empty() {
+            return Err(PlanError::Empty);
+        }
+        Ok(plan)
+    }
+
+    /// This plan as a wire [`PlanSpec`] (both axes always explicit).
+    pub fn to_spec(&self) -> PlanSpec {
+        PlanSpec {
+            workloads: self.workloads.iter().map(|w| w.name.clone()).collect(),
+            configs: self.configs.iter().map(|c| c.label().to_string()).collect(),
+        }
     }
 
     /// The plan's workloads, in execution (and result) order.
@@ -102,6 +190,49 @@ mod tests {
         assert_eq!(plan.configs(), &[ConfigId::Base, ConfigId::Fdp]);
         assert_eq!(plan.job_count(), 4);
         assert!(!plan.wants_asmdb());
+    }
+
+    #[test]
+    fn spec_resolution_round_trips() {
+        let available = cvp1_suite(1_000)[..4].to_vec();
+        // Empty axes select everything.
+        let plan = ExperimentPlan::from_spec(&PlanSpec::default(), &available).unwrap();
+        assert_eq!(plan.workloads().len(), 4);
+        assert_eq!(plan.configs(), &ConfigId::ALL);
+        // Named axes resolve exactly, and to_spec round-trips.
+        let spec = PlanSpec {
+            workloads: vec![available[1].name.clone()],
+            configs: vec!["ftq2_fdp".into(), "ftq24_fdp".into()],
+        };
+        let plan = ExperimentPlan::from_spec(&spec, &available).unwrap();
+        assert_eq!(plan.workloads().len(), 1);
+        assert_eq!(plan.configs(), &[ConfigId::Base, ConfigId::Fdp]);
+        let plan2 = ExperimentPlan::from_spec(&plan.to_spec(), &available).unwrap();
+        assert_eq!(plan2.to_spec(), plan.to_spec());
+    }
+
+    #[test]
+    fn spec_resolution_rejects_unknown_names() {
+        let available = cvp1_suite(1_000)[..2].to_vec();
+        let spec = PlanSpec {
+            workloads: vec!["nope".into()],
+            configs: vec![],
+        };
+        assert_eq!(
+            ExperimentPlan::from_spec(&spec, &available).unwrap_err(),
+            PlanError::UnknownWorkload("nope".into())
+        );
+        let spec = PlanSpec {
+            workloads: vec![],
+            configs: vec!["turbo".into()],
+        };
+        let err = ExperimentPlan::from_spec(&spec, &available).unwrap_err();
+        assert_eq!(err, PlanError::UnknownConfig("turbo".into()));
+        assert!(err.to_string().contains("ftq24_asmdb_noov"), "{err}");
+        assert_eq!(
+            ExperimentPlan::from_spec(&PlanSpec::default(), &[]).unwrap_err(),
+            PlanError::Empty
+        );
     }
 
     #[test]

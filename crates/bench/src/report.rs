@@ -14,6 +14,36 @@ use swip_report::{ConfigReport, RunReport, WorkloadReport};
 
 use crate::{ConfigId, Session, WorkloadResults};
 
+/// Flattens one [`WorkloadResults`] into its report entry; `job_seconds`
+/// is supplied by the caller because the two report flavors disagree on
+/// whether wall-clock belongs in the document.
+fn workload_report(r: &WorkloadResults, job_seconds: f64) -> WorkloadReport {
+    let configs = ConfigId::ALL
+        .iter()
+        .filter_map(|&id| r.get(id).map(|sim| ConfigReport::from_sim(id.label(), sim)))
+        .collect();
+    WorkloadReport {
+        name: r.name().to_string(),
+        job_seconds,
+        configs,
+    }
+}
+
+/// The flattened session cache/work counters, as stored in a
+/// [`RunReport`]'s `session` block and served by `swip-serve`'s
+/// `/metrics` endpoint.
+pub fn session_counter_pairs(session: &Session) -> Vec<(String, u64)> {
+    let c = session.counters();
+    vec![
+        ("trace_generations".into(), c.trace_generations),
+        ("trace_cache_hits".into(), c.trace_cache_hits),
+        ("trace_disk_hits".into(), c.trace_disk_hits),
+        ("asmdb_profiles".into(), c.asmdb_profiles),
+        ("asmdb_cache_hits".into(), c.asmdb_cache_hits),
+        ("sim_runs".into(), c.sim_runs),
+    ]
+}
+
 /// Assembles the [`RunReport`] for a finished sweep: run knobs from the
 /// session, one [`ConfigReport`] per executed (workload, configuration)
 /// job, the session counters, and the sealed fingerprint.
@@ -24,25 +54,33 @@ pub fn build_run_report(session: &Session, figure: &str, results: &[WorkloadResu
         session.stride() as u64,
         session.threads() as u64,
     );
-    let c = session.counters();
-    report.session = vec![
-        ("trace_generations".into(), c.trace_generations),
-        ("trace_cache_hits".into(), c.trace_cache_hits),
-        ("trace_disk_hits".into(), c.trace_disk_hits),
-        ("asmdb_profiles".into(), c.asmdb_profiles),
-        ("asmdb_cache_hits".into(), c.asmdb_cache_hits),
-        ("sim_runs".into(), c.sim_runs),
-    ];
+    report.session = session_counter_pairs(session);
     for r in results {
-        let configs = ConfigId::ALL
-            .iter()
-            .filter_map(|&id| r.get(id).map(|sim| ConfigReport::from_sim(id.label(), sim)))
-            .collect();
-        report.workloads.push(WorkloadReport {
-            name: r.name().to_string(),
-            job_seconds: r.job_seconds(),
-            configs,
-        });
+        report.workloads.push(workload_report(r, r.job_seconds()));
+    }
+    report.seal();
+    report
+}
+
+/// Assembles the *deterministic* [`RunReport`] for one plan execution —
+/// the document `swip-serve` stores for a finished job.
+///
+/// Unlike [`build_run_report`], this flavor carries only the measurement:
+/// the session counter block is empty (a warm server's cumulative cache
+/// counters describe the process, not the job — they live on `/metrics`)
+/// and `job_seconds` is zeroed (wall-clock lives on the job resource).
+/// Two executions of the same plan at the same knobs therefore produce
+/// **byte-identical** JSON, whether served or run offline — the property
+/// the serve integration tests pin.
+pub fn build_plan_report(session: &Session, results: &[WorkloadResults]) -> RunReport {
+    let mut report = RunReport::new(
+        "plan",
+        session.instructions(),
+        session.stride() as u64,
+        session.threads() as u64,
+    );
+    for r in results {
+        report.workloads.push(workload_report(r, 0.0));
     }
     report.seal();
     report
@@ -114,6 +152,32 @@ mod tests {
         let back = RunReport::from_json_str(&report.to_json()).unwrap();
         assert_eq!(back, report);
         assert_eq!(back.compute_fingerprint(), back.fingerprint);
+    }
+
+    #[test]
+    fn plan_reports_are_deterministic_across_sessions() {
+        let plan_for = |s: &Session| ExperimentPlan::all_figures(s.workloads());
+
+        // A warm session (second run hits every memo) ...
+        let warm = small_session();
+        let _ = warm.run(&plan_for(&warm)).unwrap();
+        let warm_results = warm.run(&plan_for(&warm)).unwrap();
+        let warm_report = build_plan_report(&warm, &warm_results);
+
+        // ... and a cold one produce byte-identical plan reports.
+        let cold = small_session();
+        let cold_results = cold.run(&plan_for(&cold)).unwrap();
+        let cold_report = build_plan_report(&cold, &cold_results);
+
+        assert_eq!(warm_report.to_json(), cold_report.to_json());
+        assert!(warm_report.session.is_empty());
+        assert_eq!(warm_report.workloads[0].job_seconds, 0.0);
+        assert_eq!(warm_report.figure, "plan");
+        // The volatile flavor, by contrast, differs in its session block.
+        assert_ne!(
+            build_run_report(&warm, "all", &warm_results).session,
+            build_run_report(&cold, "all", &cold_results).session
+        );
     }
 
     #[test]

@@ -158,7 +158,13 @@ impl SessionBuilder {
     /// `SWIP_INSTRUCTIONS`, `SWIP_STRIDE`, `SWIP_THREADS`, `SWIP_ASMDB`,
     /// and `SWIP_CACHE_DIR` over the defaults. Unparsable values keep the
     /// default and report the offending variable on stderr.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use explicit SessionBuilder knobs (or the `swip bench` flags) \
+                instead of SWIP_* environment variables"
+    )]
     pub fn from_env() -> Self {
+        #[allow(deprecated)] // the shim is one deprecated surface, not two
         let (builder, warnings) = Self::default().apply_env(std::env::vars());
         for w in &warnings {
             eprintln!("warning: {w}");
@@ -171,6 +177,11 @@ impl SessionBuilder {
     /// the variable and the rejected value). Factored out of
     /// [`SessionBuilder::from_env`] so the parsing is testable without
     /// mutating process-global state.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use explicit SessionBuilder knobs (or the `swip bench` flags) \
+                instead of SWIP_* environment variables"
+    )]
     pub fn apply_env(
         mut self,
         vars: impl IntoIterator<Item = (String, String)>,
@@ -540,6 +551,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn env_shim_applies_valid_values() {
         let (b, warnings) = SessionBuilder::new().apply_env(env(&[
             ("SWIP_INSTRUCTIONS", "50_000"),
@@ -561,6 +573,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn env_shim_names_the_variable_that_failed() {
         let (b, warnings) = SessionBuilder::new().apply_env(env(&[
             ("SWIP_INSTRUCTIONS", "lots"),
@@ -578,6 +591,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn env_shim_zero_stride_becomes_a_typed_build_error() {
         // The old harness silently clamped SWIP_STRIDE=0 to 1; the builder
         // rejects it instead.

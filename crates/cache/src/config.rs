@@ -37,6 +37,13 @@ pub enum ConfigError {
         /// The set count the pair works out to.
         sets: usize,
     },
+    /// A sampling stride of zero (e.g. the scenario timeline's cycle
+    /// stride): every downstream consumer divides or steps by the stride,
+    /// so zero must be rejected as configuration, not normalized at use.
+    ZeroStride {
+        /// Structure name (`timeline`, …).
+        name: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -60,6 +67,9 @@ impl fmt::Display for ConfigError {
                 "{name}: capacity {capacity_kib} KiB / {ways} ways gives \
                  non-power-of-two set count {sets}"
             ),
+            ConfigError::ZeroStride { name } => {
+                write!(f, "{name}: sampling stride must be positive (got 0)")
+            }
         }
     }
 }

@@ -21,11 +21,19 @@
 //!   the `all` sweep also writes a structured `report.json` next to the
 //!   TSVs;
 //! * `swip report FILE` — summarize a `report.json`; `swip report --diff
-//!   A B` — print the counter-level differences between two run reports.
+//!   A B` — print the counter-level differences between two run reports
+//!   and exit like `diff(1)`: 0 when they match, 1 when they differ, 2
+//!   when a file cannot be read or parsed;
+//! * `swip serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//!   [--instructions N] [--stride N] [--job-threads K] [--cache-dir
+//!   DIR]` — run the experiment engine as an HTTP service with a bounded
+//!   job queue (see `swip-serve`).
 //!
 //! The parser is hand-rolled (the workspace's dependency budget is
 //! deliberately small) and returns structured [`Command`]s so it can be
-//! tested without touching the filesystem.
+//! tested without touching the filesystem. [`execute`] returns the
+//! process exit code so subcommands with meaningful codes (`report
+//! --diff`) stay testable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -109,6 +117,23 @@ pub enum Command {
         /// Run-report JSON paths: one (summary) or two (`--diff`).
         files: Vec<String>,
     },
+    /// Serve the experiment engine over HTTP.
+    Serve {
+        /// Listen address (`HOST:PORT`; port 0 picks a free port).
+        addr: String,
+        /// Worker threads executing jobs.
+        workers: usize,
+        /// Bounded job-queue capacity (excess submissions get 429).
+        queue_depth: usize,
+        /// Dynamic instruction budget per workload.
+        instructions: u64,
+        /// Workload suite stride (1 = all 48, 8 = every 8th, …).
+        stride: usize,
+        /// Session threads per job (defaults to machine parallelism).
+        job_threads: Option<usize>,
+        /// Directory for the on-disk trace cache.
+        cache_dir: Option<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -139,7 +164,9 @@ USAGE:
   swip bench [--figure NAME] [--instructions N] [--stride N] [--threads K]
              [--asmdb default|aggressive|wide] [--cache-dir DIR]
   swip report FILE
-  swip report --diff FILE FILE
+  swip report --diff FILE FILE     (exits 0 match / 1 differ / 2 unreadable)
+  swip serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+             [--instructions N] [--stride N] [--job-threads K] [--cache-dir DIR]
   swip help
 ";
 
@@ -318,6 +345,46 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
                 )),
             }
         }
+        "serve" => {
+            let mut addr = "127.0.0.1:8080".to_string();
+            let mut workers = 2usize;
+            let mut queue_depth = 16usize;
+            let mut instructions = 300_000u64;
+            let mut stride = 1usize;
+            let mut job_threads = None;
+            let mut cache_dir = None;
+            while let Some(a) = it.next() {
+                match a {
+                    "--addr" => addr = take_value(&mut it, a)?.to_string(),
+                    "--workers" => workers = parse_num(take_value(&mut it, a)?)? as usize,
+                    "--queue-depth" => {
+                        queue_depth = parse_num(take_value(&mut it, a)?)? as usize;
+                    }
+                    "--instructions" => instructions = parse_num(take_value(&mut it, a)?)?,
+                    "--stride" => stride = parse_num(take_value(&mut it, a)?)? as usize,
+                    "--job-threads" => {
+                        job_threads = Some(parse_num(take_value(&mut it, a)?)? as usize);
+                    }
+                    "--cache-dir" => cache_dir = Some(take_value(&mut it, a)?.to_string()),
+                    other => return Err(UsageError(format!("unknown flag {other}"))),
+                }
+            }
+            if workers == 0 {
+                return Err(UsageError("--workers must be positive".into()));
+            }
+            if queue_depth == 0 {
+                return Err(UsageError("--queue-depth must be positive".into()));
+            }
+            Ok(Command::Serve {
+                addr,
+                workers,
+                queue_depth,
+                instructions,
+                stride,
+                job_threads,
+                cache_dir,
+            })
+        }
         other => Err(UsageError(format!("unknown subcommand {other}"))),
     }
 }
@@ -328,13 +395,15 @@ fn parse_num(s: &str) -> Result<u64, UsageError> {
         .map_err(|_| UsageError(format!("not a number: {s}")))
 }
 
-/// Executes a parsed command, writing human-readable output to stdout.
+/// Executes a parsed command, writing human-readable output to stdout,
+/// and returns the process exit code (0 except where a subcommand
+/// defines nonzero codes, like `report --diff`'s `diff(1)` convention).
 ///
 /// # Errors
 ///
 /// Returns I/O or decode errors from trace files, and [`UsageError`] for
 /// unknown workload names.
-pub fn execute(cmd: Command) -> Result<(), Box<dyn Error>> {
+pub fn execute(cmd: Command) -> Result<u8, Box<dyn Error>> {
     match cmd {
         Command::Help => print!("{USAGE}"),
         Command::Suite { instructions } => {
@@ -388,6 +457,10 @@ pub fn execute(cmd: Command) -> Result<(), Box<dyn Error>> {
                     capacity: 1 << 20,
                 });
             }
+            // parse() already rejects --sample-stride 0, but embedders
+            // reach execute() directly — keep the typed check on both
+            // layers.
+            config.validate()?;
             let report = Simulator::new(config).run(&trace);
             println!("{report}");
             if let Some(out) = timeline {
@@ -465,14 +538,55 @@ pub fn execute(cmd: Command) -> Result<(), Box<dyn Error>> {
             match files.as_slice() {
                 [file] => print!("{}", load(file)?.summary()),
                 [a, b] => {
-                    let diff = swip_report::ReportDiff::between(&load(a)?, &load(b)?);
+                    // diff(1) exit convention: unreadable/unparsable
+                    // input is 2, a real difference is 1.
+                    let (ra, rb) = match (load(a), load(b)) {
+                        (Ok(ra), Ok(rb)) => (ra, rb),
+                        (Err(e), _) | (_, Err(e)) => {
+                            eprintln!("error: {e}");
+                            return Ok(2);
+                        }
+                    };
+                    let diff = swip_report::ReportDiff::between(&ra, &rb);
                     print!("{}", diff.render());
+                    if !diff.is_clean() {
+                        return Ok(1);
+                    }
                 }
                 _ => unreachable!("parse() enforces one or two files"),
             }
         }
+        Command::Serve {
+            addr,
+            workers,
+            queue_depth,
+            instructions,
+            stride,
+            job_threads,
+            cache_dir,
+        } => {
+            let mut builder = swip_bench::SessionBuilder::new()
+                .instructions(instructions)
+                .stride(stride);
+            if let Some(t) = job_threads {
+                builder = builder.threads(t);
+            }
+            if let Some(dir) = cache_dir {
+                builder = builder.cache_dir(dir);
+            }
+            let session = builder.build()?;
+            let config = swip_serve::ServeConfig {
+                addr,
+                workers,
+                queue_depth,
+            };
+            let server = swip_serve::Server::bind(&config, session)?;
+            // Scripts scrape this line to learn the picked port.
+            println!("listening on {}", server.local_addr());
+            server.run()?;
+        }
     }
-    Ok(())
+    Ok(0)
 }
 
 #[cfg(test)]
@@ -547,6 +661,46 @@ mod tests {
             parse(&["report", "--diff", "a.json", "b.json"]),
             Ok(Command::Report {
                 files: vec!["a.json".into(), "b.json".into()]
+            })
+        );
+        assert_eq!(
+            parse(&["serve"]),
+            Ok(Command::Serve {
+                addr: "127.0.0.1:8080".into(),
+                workers: 2,
+                queue_depth: 16,
+                instructions: 300_000,
+                stride: 1,
+                job_threads: None,
+                cache_dir: None
+            })
+        );
+        assert_eq!(
+            parse(&[
+                "serve",
+                "--addr",
+                "0.0.0.0:9999",
+                "--workers",
+                "4",
+                "--queue-depth",
+                "8",
+                "--instructions",
+                "20_000",
+                "--stride",
+                "24",
+                "--job-threads",
+                "2",
+                "--cache-dir",
+                "/tmp/swip-cache"
+            ]),
+            Ok(Command::Serve {
+                addr: "0.0.0.0:9999".into(),
+                workers: 4,
+                queue_depth: 8,
+                instructions: 20_000,
+                stride: 24,
+                job_threads: Some(2),
+                cache_dir: Some("/tmp/swip-cache".into())
             })
         );
         assert_eq!(
@@ -630,6 +784,9 @@ mod tests {
         assert!(parse(&["report", "--diff", "a.json"]).is_err());
         assert!(parse(&["report", "--diff", "a", "b", "c"]).is_err());
         assert!(parse(&["report", "--bogus", "a.json"]).is_err());
+        assert!(parse(&["serve", "--workers", "0"]).is_err());
+        assert!(parse(&["serve", "--queue-depth", "0"]).is_err());
+        assert!(parse(&["serve", "--bogus"]).is_err());
     }
 
     #[test]
@@ -710,16 +867,45 @@ mod tests {
         report.workloads[0].configs[0].counters[0].1 = 90;
         std::fs::write(&b, report.to_json()).unwrap();
 
-        execute(Command::Report {
-            files: vec![a.clone()],
-        })
-        .unwrap();
-        execute(Command::Report {
-            files: vec![a.clone(), b.clone()],
-        })
-        .unwrap();
-        // A malformed file is a readable error, not a panic.
+        assert_eq!(
+            execute(Command::Report {
+                files: vec![a.clone()],
+            })
+            .unwrap(),
+            0
+        );
+        // diff(1) codes: identical → 0, different → 1, unreadable → 2.
+        assert_eq!(
+            execute(Command::Report {
+                files: vec![a.clone(), a.clone()],
+            })
+            .unwrap(),
+            0
+        );
+        assert_eq!(
+            execute(Command::Report {
+                files: vec![a.clone(), b.clone()],
+            })
+            .unwrap(),
+            1
+        );
+        assert_eq!(
+            execute(Command::Report {
+                files: vec![a.clone(), "/no/such/report.json".into()],
+            })
+            .unwrap(),
+            2
+        );
         std::fs::write(&b, "{}").unwrap();
+        assert_eq!(
+            execute(Command::Report {
+                files: vec![a.clone(), b.clone()],
+            })
+            .unwrap(),
+            2
+        );
+        // A malformed file is a readable error for the summary form too,
+        // not a panic.
         let err = execute(Command::Report {
             files: vec![b.clone()],
         })

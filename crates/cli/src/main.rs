@@ -13,7 +13,7 @@ fn main() -> ExitCode {
         }
     };
     match swip_cli::execute(cmd) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

@@ -64,16 +64,27 @@ impl SimConfig {
         }
     }
 
-    /// Validates the configuration's structure geometries.
+    /// Validates the configuration's structure geometries and sampling
+    /// knobs.
     ///
     /// # Errors
     ///
     /// Returns the first [`ConfigError`] from
     /// [`HierarchyConfig::validate`], naming the offending structure, so
     /// callers (e.g. `swip bench`) can print a message instead of
-    /// panicking mid-run.
+    /// panicking mid-run. A configured scenario timeline with a zero
+    /// cycle stride is rejected as [`ConfigError::ZeroStride`] here — the
+    /// ring buffer would otherwise silently normalize it to 1.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        self.memory.validate()
+        self.memory.validate()?;
+        if let Some(t) = &self.timeline {
+            if t.stride == 0 {
+                return Err(ConfigError::ZeroStride {
+                    name: "timeline".into(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// This configuration with a different FTQ depth (parameter sweeps).
@@ -194,6 +205,28 @@ mod tests {
         cfg.memory.l1i.sets = 48;
         let err = cfg.validate().unwrap_err();
         assert!(err.to_string().contains("L1I"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_zero_timeline_stride() {
+        let mut cfg = SimConfig::sunny_cove_like();
+        cfg.timeline = Some(TimelineConfig {
+            stride: 0,
+            capacity: 16,
+        });
+        let err = cfg.validate().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ZeroStride {
+                name: "timeline".into()
+            }
+        );
+        assert!(err.to_string().contains("stride"), "{err}");
+        cfg.timeline = Some(TimelineConfig {
+            stride: 64,
+            capacity: 16,
+        });
+        assert_eq!(cfg.validate(), Ok(()));
     }
 
     #[test]

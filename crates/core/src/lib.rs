@@ -38,6 +38,7 @@ pub use backend::{Backend, BackendConfig, BackendStats, ResolvedBranch};
 pub use config::SimConfig;
 pub use report::SimReport;
 pub use simulator::{PrefetchHints, PreloadMetadata, Simulator};
+pub use swip_cache::ConfigError;
 // Re-exported so `SimConfig::timeline` is configurable (and the resulting
 // `SimReport::timeline` consumable) without a direct swip-frontend dep.
 pub use swip_frontend::{TimelineConfig, TimelineSample};

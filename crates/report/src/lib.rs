@@ -13,6 +13,9 @@
 //!   `swip report --diff a.json b.json`.
 //! * [`to_chrome_trace`] — exports the cycle-sampled scenario timeline as
 //!   Chrome trace-event JSON for `chrome://tracing` / Perfetto.
+//! * [`PlanSpec`] — the wire form of an experiment plan (workloads ×
+//!   configurations by name), the body `swip-serve` accepts on
+//!   `POST /v1/jobs`.
 //! * [`Json`] — the dependency-free JSON value type used for all of the
 //!   above (the workspace is offline; no serde).
 
@@ -21,10 +24,12 @@
 
 mod diff;
 mod json;
+mod plan;
 mod run_report;
 mod trace_event;
 
 pub use diff::{CounterDelta, ReportDiff};
 pub use json::{Json, JsonError};
+pub use plan::{PlanSpec, PlanSpecError};
 pub use run_report::{ConfigReport, ReportError, RunReport, WorkloadReport, SCHEMA_VERSION};
 pub use trace_event::to_chrome_trace;

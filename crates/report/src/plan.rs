@@ -1,0 +1,155 @@
+//! [`PlanSpec`]: the wire form of an experiment plan.
+//!
+//! `swip-serve` accepts jobs as JSON documents in the same [`Json`] value
+//! type the run reports use. A spec names workloads and configurations by
+//! the labels they carry in a [`RunReport`](crate::RunReport); resolving
+//! those names against a live session (and rejecting unknown ones) is the
+//! bench layer's job — this type only fixes the schema:
+//!
+//! ```json
+//! {"workloads": ["secret_srv12"], "configs": ["ftq2_fdp", "ftq24_fdp"]}
+//! ```
+//!
+//! Both keys are optional; an omitted (or empty) axis means "all of them".
+//! `{}` is therefore the full sweep the serving session was scoped to.
+
+use std::fmt;
+
+use crate::json::{Json, JsonError};
+
+/// A failure decoding a [`PlanSpec`] from JSON.
+#[derive(Clone, PartialEq, Debug)]
+pub enum PlanSpecError {
+    /// The text was not valid JSON.
+    Json(JsonError),
+    /// The JSON was valid but did not match the plan schema.
+    Schema(String),
+}
+
+impl fmt::Display for PlanSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanSpecError::Json(e) => write!(f, "{e}"),
+            PlanSpecError::Schema(what) => write!(f, "malformed plan: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanSpecError {}
+
+impl From<JsonError> for PlanSpecError {
+    fn from(e: JsonError) -> Self {
+        PlanSpecError::Json(e)
+    }
+}
+
+/// An experiment plan by name: which workloads to run under which
+/// configurations. Empty axes mean "all".
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct PlanSpec {
+    /// Workload names (`secret_srv12`, …); empty selects every workload
+    /// the session is scoped to.
+    pub workloads: Vec<String>,
+    /// Configuration labels (`ftq2_fdp`, `ftq24_asmdb`, …); empty selects
+    /// all six.
+    pub configs: Vec<String>,
+}
+
+impl PlanSpec {
+    /// Decodes a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanSpecError::Json`] on malformed JSON, [`PlanSpecError::Schema`]
+    /// when the document is not an object of string arrays (unknown keys
+    /// are rejected so typos like `"workload"` fail loudly instead of
+    /// silently selecting everything).
+    pub fn from_json_str(text: &str) -> Result<Self, PlanSpecError> {
+        Self::from_json_value(&Json::parse(text)?)
+    }
+
+    /// Decodes a spec from a [`Json`] value (see
+    /// [`PlanSpec::from_json_str`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PlanSpecError::Schema`] on shape mismatches or unknown keys.
+    pub fn from_json_value(v: &Json) -> Result<Self, PlanSpecError> {
+        let Json::Obj(pairs) = v else {
+            return Err(PlanSpecError::Schema("plan must be a JSON object".into()));
+        };
+        let mut spec = PlanSpec::default();
+        for (key, value) in pairs {
+            let target = match key.as_str() {
+                "workloads" => &mut spec.workloads,
+                "configs" => &mut spec.configs,
+                other => {
+                    return Err(PlanSpecError::Schema(format!(
+                        "unknown key {other:?} (expected \"workloads\" / \"configs\")"
+                    )))
+                }
+            };
+            let Some(items) = value.as_arr() else {
+                return Err(PlanSpecError::Schema(format!(
+                    "{key} must be an array of strings"
+                )));
+            };
+            for item in items {
+                match item.as_str() {
+                    Some(s) => target.push(s.to_string()),
+                    None => {
+                        return Err(PlanSpecError::Schema(format!(
+                            "{key} entries must be strings"
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// The spec as a [`Json`] object (the canonical submission body).
+    pub fn to_json_value(&self) -> Json {
+        let arr = |items: &[String]| Json::Arr(items.iter().cloned().map(Json::Str).collect());
+        Json::Obj(vec![
+            ("workloads".into(), arr(&self.workloads)),
+            ("configs".into(), arr(&self.configs)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_object_selects_everything() {
+        let spec = PlanSpec::from_json_str("{}").unwrap();
+        assert!(spec.workloads.is_empty());
+        assert!(spec.configs.is_empty());
+    }
+
+    #[test]
+    fn named_axes_round_trip() {
+        let spec = PlanSpec {
+            workloads: vec!["secret_srv12".into(), "public_srv_60".into()],
+            configs: vec!["ftq2_fdp".into()],
+        };
+        let back = PlanSpec::from_json_value(&spec.to_json_value()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn schema_violations_are_named() {
+        let err = PlanSpec::from_json_str("[]").unwrap_err();
+        assert!(matches!(err, PlanSpecError::Schema(_)), "{err:?}");
+        let err = PlanSpec::from_json_str(r#"{"workload": []}"#).unwrap_err();
+        assert!(err.to_string().contains("workload"), "{err}");
+        let err = PlanSpec::from_json_str(r#"{"workloads": "w"}"#).unwrap_err();
+        assert!(err.to_string().contains("array"), "{err}");
+        let err = PlanSpec::from_json_str(r#"{"configs": [1]}"#).unwrap_err();
+        assert!(err.to_string().contains("strings"), "{err}");
+        let err = PlanSpec::from_json_str("not json").unwrap_err();
+        assert!(matches!(err, PlanSpecError::Json(_)), "{err:?}");
+    }
+}

@@ -1,0 +1,96 @@
+//! End-to-end smoke probe for a running `swip serve` instance, used by
+//! `scripts/check.sh`: health check, one tiny job to completion, report
+//! fetch, then a graceful shutdown request.
+//!
+//! Usage: `serve_probe HOST:PORT`. Exits 0 only if every step succeeds.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use swip_report::Json;
+use swip_serve::client;
+
+const POLL: Duration = Duration::from_millis(100);
+const DEADLINE: Duration = Duration::from_secs(120);
+
+fn main() -> ExitCode {
+    let Some(addr) = std::env::args().nth(1) else {
+        eprintln!("usage: serve_probe HOST:PORT");
+        return ExitCode::from(2);
+    };
+    match probe(&addr) {
+        Ok(id) => {
+            println!("serve probe ok (job {id} done, report fetched, drain requested)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve probe failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn probe(addr: &str) -> Result<u64, String> {
+    let (status, body) = get(addr, "/healthz")?;
+    expect(200, status, "/healthz", &body)?;
+    if !body.contains("\"ok\"") {
+        return Err(format!("/healthz body looks unhealthy: {body}"));
+    }
+
+    // The cheapest possible job: the baseline config across the
+    // session's (stride-reduced) suite.
+    let (status, body) = client::request(
+        addr,
+        "POST",
+        "/v1/jobs",
+        Some(r#"{"configs": ["ftq2_fdp"]}"#),
+    )
+    .map_err(|e| format!("POST /v1/jobs: {e}"))?;
+    expect(202, status, "POST /v1/jobs", &body)?;
+    let id = Json::parse(&body)
+        .ok()
+        .and_then(|j| j.get("id").and_then(Json::as_u64))
+        .ok_or_else(|| format!("job id missing from submission response: {body}"))?;
+
+    let started = Instant::now();
+    loop {
+        let (status, body) = get(addr, &format!("/v1/jobs/{id}"))?;
+        expect(200, status, "job status", &body)?;
+        let state = Json::parse(&body)
+            .ok()
+            .and_then(|j| j.get("state").and_then(|s| s.as_str().map(String::from)))
+            .ok_or_else(|| format!("job state missing: {body}"))?;
+        match state.as_str() {
+            "done" => break,
+            "failed" => return Err(format!("job {id} failed: {body}")),
+            _ if started.elapsed() > DEADLINE => {
+                return Err(format!("job {id} still {state} after {DEADLINE:?}"))
+            }
+            _ => std::thread::sleep(POLL),
+        }
+    }
+
+    let (status, body) = get(addr, &format!("/v1/jobs/{id}/report"))?;
+    expect(200, status, "job report", &body)?;
+    let report = Json::parse(&body).map_err(|e| format!("report is not JSON: {e}"))?;
+    if report.get("figure").and_then(Json::as_str) != Some("plan") {
+        return Err(format!("report is not a plan report: {body}"));
+    }
+
+    let (status, body) =
+        client::request(addr, "POST", "/v1/shutdown", None).map_err(|e| e.to_string())?;
+    expect(202, status, "POST /v1/shutdown", &body)?;
+    Ok(id)
+}
+
+fn get(addr: &str, path: &str) -> Result<(u16, String), String> {
+    client::request(addr, "GET", path, None).map_err(|e| format!("GET {path}: {e}"))
+}
+
+fn expect(want: u16, got: u16, what: &str, body: &str) -> Result<(), String> {
+    if want == got {
+        Ok(())
+    } else {
+        Err(format!("{what}: expected {want}, got {got}: {body}"))
+    }
+}

@@ -1,0 +1,74 @@
+//! A tiny std-only HTTP client, good for exactly one thing: talking to
+//! `swip serve` over loopback from tests, the `serve_probe` binary, and
+//! scripts.
+//!
+//! One request per connection (`Connection: close`), response read to
+//! EOF — mirroring the server's own single-request connection model.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Sends one request and returns `(status, body)`.
+///
+/// # Errors
+///
+/// I/O errors from the socket, plus `InvalidData` when the peer's
+/// response is not parseable HTTP.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> io::Result<(u16, String)> {
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    let text = std::str::from_utf8(raw).map_err(|_| bad("response is not UTF-8"))?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| bad("response has no head/body separator"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("response status line is unparsable"))?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let (status, body) =
+            parse_response(b"HTTP/1.1 429 Too Many Requests\r\nRetry-After: 1\r\n\r\n{\"e\":1}")
+                .unwrap();
+        assert_eq!(status, 429);
+        assert_eq!(body, "{\"e\":1}");
+    }
+
+    #[test]
+    fn rejects_non_http_bytes() {
+        assert!(parse_response(b"ceci n'est pas une reponse").is_err());
+    }
+}

@@ -1,0 +1,265 @@
+//! Job records and the in-memory registry behind `/v1/jobs`.
+//!
+//! Every submission gets a monotonically increasing id and a record that
+//! walks the state machine `queued → running → done | failed`. Records
+//! are never evicted for the life of the process — the service exists to
+//! run bounded batches of simulations, not to be a long-lived job store,
+//! and a finished [`RunReport`](swip_report::RunReport) for a small plan
+//! is a few KiB.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use swip_report::{Json, PlanSpec};
+
+/// Where a job is in its lifecycle.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum JobState {
+    /// Accepted and waiting for a worker.
+    Queued,
+    /// Executing on a worker.
+    Running,
+    /// Finished; its report is available.
+    Done,
+    /// Rejected by the engine or poisoned by a panic; `error` says why.
+    Failed,
+}
+
+impl JobState {
+    /// The wire label used in job JSON (`queued` / `running` / `done` /
+    /// `failed`).
+    pub fn label(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// All states, for counting.
+    pub const ALL: [JobState; 4] = [
+        JobState::Queued,
+        JobState::Running,
+        JobState::Done,
+        JobState::Failed,
+    ];
+}
+
+/// One job's full record.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// The job id (also its path segment under `/v1/jobs/`).
+    pub id: u64,
+    /// The *resolved* plan (both axes explicit), as accepted.
+    pub spec: PlanSpec,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Failure reason, for [`JobState::Failed`].
+    pub error: Option<String>,
+    /// The rendered plan report JSON, for [`JobState::Done`].
+    pub report_json: Option<String>,
+    submitted: Instant,
+    started: Option<Instant>,
+    finished: Option<Instant>,
+}
+
+impl JobRecord {
+    fn new(id: u64, spec: PlanSpec) -> Self {
+        JobRecord {
+            id,
+            spec,
+            state: JobState::Queued,
+            error: None,
+            report_json: None,
+            submitted: Instant::now(),
+            started: None,
+            finished: None,
+        }
+    }
+
+    /// Seconds spent queued (up to now while still waiting).
+    pub fn queue_seconds(&self) -> f64 {
+        let until = self.started.unwrap_or_else(Instant::now);
+        until.duration_since(self.submitted).as_secs_f64()
+    }
+
+    /// Seconds spent running (up to now while still running); `None`
+    /// before the job starts.
+    pub fn run_seconds(&self) -> Option<f64> {
+        let started = self.started?;
+        let until = self.finished.unwrap_or_else(Instant::now);
+        Some(until.duration_since(started).as_secs_f64())
+    }
+
+    /// The job resource as served by `GET /v1/jobs/{id}`.
+    ///
+    /// Wall-clock timings live here — deliberately *not* in the report,
+    /// which stays byte-deterministic (see
+    /// [`build_plan_report`](swip_bench::build_plan_report)).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("id".to_string(), Json::U64(self.id)),
+            ("state".to_string(), Json::Str(self.state.label().into())),
+            ("plan".to_string(), self.spec.to_json_value()),
+            ("queue_seconds".to_string(), Json::F64(self.queue_seconds())),
+            (
+                "run_seconds".to_string(),
+                match self.run_seconds() {
+                    Some(s) => Json::F64(s),
+                    None => Json::Null,
+                },
+            ),
+        ];
+        match &self.error {
+            Some(e) => pairs.push(("error".to_string(), Json::Str(e.clone()))),
+            None => pairs.push(("error".to_string(), Json::Null)),
+        }
+        if self.state == JobState::Done {
+            pairs.push((
+                "report_url".to_string(),
+                Json::Str(format!("/v1/jobs/{}/report", self.id)),
+            ));
+        }
+        Json::Obj(pairs)
+    }
+}
+
+/// The registry: id allocation plus a lock around every record.
+pub struct JobRegistry {
+    next_id: AtomicU64,
+    jobs: Mutex<HashMap<u64, JobRecord>>,
+}
+
+impl Default for JobRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JobRegistry {
+    /// An empty registry; ids start at 1.
+    pub fn new() -> Self {
+        JobRegistry {
+            next_id: AtomicU64::new(1),
+            jobs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Registers a new queued job for `spec` and returns its id.
+    pub fn create(&self, spec: PlanSpec) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let record = JobRecord::new(id, spec);
+        self.jobs.lock().unwrap().insert(id, record);
+        id
+    }
+
+    /// Removes a record again — the submission rollback when the queue
+    /// rejects the push that was supposed to follow `create`.
+    pub fn remove(&self, id: u64) {
+        self.jobs.lock().unwrap().remove(&id);
+    }
+
+    /// Marks `id` running and stamps its start time.
+    pub fn mark_running(&self, id: u64) {
+        if let Some(j) = self.jobs.lock().unwrap().get_mut(&id) {
+            j.state = JobState::Running;
+            j.started = Some(Instant::now());
+        }
+    }
+
+    /// Marks `id` done and stores its rendered report.
+    pub fn mark_done(&self, id: u64, report_json: String) {
+        if let Some(j) = self.jobs.lock().unwrap().get_mut(&id) {
+            j.state = JobState::Done;
+            j.report_json = Some(report_json);
+            j.finished = Some(Instant::now());
+        }
+    }
+
+    /// Marks `id` failed with a reason.
+    pub fn mark_failed(&self, id: u64, error: String) {
+        if let Some(j) = self.jobs.lock().unwrap().get_mut(&id) {
+            j.state = JobState::Failed;
+            j.error = Some(error);
+            j.finished = Some(Instant::now());
+        }
+    }
+
+    /// Runs `f` on the record for `id` under the lock; `None` for an
+    /// unknown id.
+    pub fn with<R>(&self, id: u64, f: impl FnOnce(&JobRecord) -> R) -> Option<R> {
+        self.jobs.lock().unwrap().get(&id).map(f)
+    }
+
+    /// Jobs per state, in [`JobState::ALL`] order.
+    pub fn counts(&self) -> [u64; 4] {
+        let jobs = self.jobs.lock().unwrap();
+        let mut counts = [0u64; 4];
+        for j in jobs.values() {
+            counts[JobState::ALL.iter().position(|&s| s == j.state).unwrap()] += 1;
+        }
+        counts
+    }
+
+    /// Total records currently registered.
+    pub fn len(&self) -> usize {
+        self.jobs.lock().unwrap().len()
+    }
+
+    /// True when no jobs have been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_walks_the_state_machine() {
+        let reg = JobRegistry::new();
+        let id = reg.create(PlanSpec::default());
+        assert_eq!(reg.with(id, |j| j.state), Some(JobState::Queued));
+        reg.mark_running(id);
+        assert_eq!(reg.with(id, |j| j.state), Some(JobState::Running));
+        reg.mark_done(id, "{}".into());
+        let (state, report) = reg.with(id, |j| (j.state, j.report_json.clone())).unwrap();
+        assert_eq!(state, JobState::Done);
+        assert_eq!(report.as_deref(), Some("{}"));
+        assert_eq!(reg.counts(), [0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn rollback_and_unknown_ids() {
+        let reg = JobRegistry::new();
+        let id = reg.create(PlanSpec::default());
+        reg.remove(id);
+        assert!(reg.with(id, |_| ()).is_none());
+        assert!(reg.is_empty());
+        reg.mark_failed(999, "nope".into()); // unknown id is a no-op
+        assert_eq!(reg.counts(), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn job_json_shape() {
+        let reg = JobRegistry::new();
+        let id = reg.create(PlanSpec {
+            workloads: vec!["w0".into()],
+            configs: vec!["ftq2_fdp".into()],
+        });
+        reg.mark_running(id);
+        reg.mark_done(id, "{}".into());
+        let json = reg.with(id, |j| j.to_json()).unwrap();
+        assert_eq!(json.get("state").and_then(|v| v.as_str()), Some("done"));
+        assert_eq!(json.get("id").and_then(|v| v.as_u64()), Some(id));
+        assert_eq!(
+            json.get("report_url").and_then(|v| v.as_str()),
+            Some(format!("/v1/jobs/{id}/report").as_str())
+        );
+        assert!(json.get("run_seconds").and_then(|v| v.as_f64()).is_some());
+    }
+}

@@ -1,0 +1,63 @@
+//! `swip serve`: the experiment engine as a dependency-free HTTP/1.1
+//! service.
+//!
+//! One process holds one warm [`Session`](swip_bench::Session) for its
+//! whole lifetime, so every job after the first reuses the session's
+//! memoized traces and AsmDB pipeline outputs — the serving analogue of
+//! a long-lived `swip bench` sweep. Everything is `std`: the listener is
+//! a [`TcpListener`](std::net::TcpListener), the HTTP/1.1 subset is
+//! hand-rolled, and JSON goes through `swip-report`'s value type.
+//!
+//! # API
+//!
+//! | Endpoint | Meaning |
+//! |---|---|
+//! | `POST /v1/jobs` | Submit a plan (`{"workloads": […], "configs": […]}`, empty axis = all) → job id |
+//! | `GET /v1/jobs/{id}` | Job state machine `queued → running → done \| failed` + timings |
+//! | `GET /v1/jobs/{id}/report` | The finished job's deterministic `RunReport` |
+//! | `GET /healthz` | Liveness + drain flag |
+//! | `GET /metrics` | Queue depth, jobs by state, session counters, uptime |
+//! | `POST /v1/shutdown` | Begin graceful drain (what SIGINT does, but testable) |
+//!
+//! # Contracts
+//!
+//! * **Backpressure is typed**: the queue is bounded; a full queue
+//!   answers `429` with `Retry-After`, never unbounded buffering.
+//! * **Reports are deterministic**: a job's report is built with
+//!   [`build_plan_report`](swip_bench::build_plan_report), byte-identical
+//!   to an offline run of the same plan at the same session knobs.
+//!   Wall-clock lives on the job resource, live counters on `/metrics`.
+//! * **Panics are contained**: a poisoned job becomes a `failed` record,
+//!   not a dead server.
+//! * **Shutdown drains**: SIGINT/SIGTERM (or `POST /v1/shutdown`) stops
+//!   admission with `503`, finishes accepted jobs, then exits 0.
+//!
+//! ```no_run
+//! use swip_serve::{ServeConfig, Server};
+//!
+//! let session = swip_bench::SessionBuilder::new().build()?;
+//! let server = Server::bind(&ServeConfig::default(), session)?;
+//! println!("listening on {}", server.local_addr());
+//! server.run()?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+// `deny` rather than the workspace's usual `forbid`: the SIGINT shim in
+// `shutdown` is the one place allowed to override it.
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+mod http;
+mod job;
+mod metrics;
+mod queue;
+mod router;
+mod server;
+pub mod shutdown;
+mod worker;
+
+pub use http::{HttpError, Request, Response};
+pub use job::{JobRecord, JobRegistry, JobState};
+pub use queue::{BoundedQueue, SubmitError};
+pub use server::{ServeConfig, ServeContext, Server};

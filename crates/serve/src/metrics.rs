@@ -1,0 +1,42 @@
+//! The `/metrics` document: queue depth, job states, and the warm
+//! session's cumulative cache counters.
+//!
+//! This is where the *volatile* telemetry lives. Job reports are
+//! byte-deterministic (see
+//! [`build_plan_report`](swip_bench::build_plan_report)), so anything
+//! scheduling- or wall-clock-dependent — queue occupancy, per-state job
+//! counts, the session's memo hit counters, uptime — is exposed here
+//! instead, as one flat JSON object rendered with `swip-report`'s value
+//! type.
+
+use swip_bench::session_counter_pairs;
+use swip_report::Json;
+
+use crate::job::JobState;
+use crate::server::ServeContext;
+
+/// Builds the flat `/metrics` object for the current instant.
+pub(crate) fn metrics_json(ctx: &ServeContext) -> Json {
+    let mut pairs = vec![
+        (
+            "uptime_seconds".to_string(),
+            Json::F64(ctx.started.elapsed().as_secs_f64()),
+        ),
+        ("draining".to_string(), Json::Bool(ctx.is_draining())),
+        ("workers".to_string(), Json::U64(ctx.workers as u64)),
+        ("queue_depth".to_string(), Json::U64(ctx.queue.len() as u64)),
+        (
+            "queue_capacity".to_string(),
+            Json::U64(ctx.queue.capacity() as u64),
+        ),
+    ];
+    let counts = ctx.registry.counts();
+    for (state, count) in JobState::ALL.iter().zip(counts) {
+        pairs.push((format!("jobs_{}", state.label()), Json::U64(count)));
+    }
+    pairs.push(("jobs_rejected".to_string(), Json::U64(ctx.rejected())));
+    for (name, value) in session_counter_pairs(&ctx.session) {
+        pairs.push((format!("session_{name}"), Json::U64(value)));
+    }
+    Json::Obj(pairs)
+}

@@ -1,0 +1,200 @@
+//! The server proper: shared context, accept loop, and graceful drain.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use swip_bench::Session;
+
+use crate::http::{read_request, Response};
+use crate::job::{JobRegistry, JobState};
+use crate::queue::BoundedQueue;
+use crate::worker::{spawn_workers, QueuedJob};
+use crate::{router, shutdown};
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// Per-connection socket timeout: a stalled client cannot pin a handler
+/// thread forever.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Knobs for [`Server::bind`]; session knobs live on
+/// [`SessionBuilder`](swip_bench::SessionBuilder) instead.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:8080` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads executing jobs (each job additionally fans out on
+    /// the session's own thread pool).
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it get 429.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8080".to_string(),
+            workers: 2,
+            queue_depth: 16,
+        }
+    }
+}
+
+/// State shared by the accept loop, connection handlers, and workers.
+///
+/// Obtainable via [`Server::context`] and alive after
+/// [`Server::run`] returns, so embedders (and the integration tests)
+/// can inspect final job states post-drain.
+pub struct ServeContext {
+    pub(crate) session: Session,
+    pub(crate) queue: BoundedQueue<QueuedJob>,
+    pub(crate) registry: JobRegistry,
+    pub(crate) started: Instant,
+    pub(crate) workers: usize,
+    draining: AtomicBool,
+    rejected: AtomicU64,
+}
+
+impl ServeContext {
+    /// The warm session executing this server's jobs.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// True once the server stopped accepting jobs (drain in progress
+    /// or finished).
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Total submissions rejected for backpressure (429) since start.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Jobs per state, in [`JobState::ALL`] order.
+    pub fn job_counts(&self) -> [u64; 4] {
+        self.registry.counts()
+    }
+
+    /// The state of job `id`, if it exists.
+    pub fn job_state(&self, id: u64) -> Option<JobState> {
+        self.registry.with(id, |j| j.state)
+    }
+
+    pub(crate) fn count_rejection(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stops admission and closes the queue; queued jobs still drain.
+    /// Idempotent.
+    pub(crate) fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+}
+
+/// A bound, not-yet-running service instance.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    ctx: Arc<ServeContext>,
+}
+
+impl Server {
+    /// Binds the listen socket and assembles the shared context around
+    /// `session`. The server does not accept connections until
+    /// [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures (address in use, permission).
+    pub fn bind(config: &ServeConfig, session: Session) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let ctx = Arc::new(ServeContext {
+            session,
+            queue: BoundedQueue::new(config.queue_depth.max(1)),
+            registry: JobRegistry::new(),
+            started: Instant::now(),
+            workers: config.workers.max(1),
+            draining: AtomicBool::new(false),
+            rejected: AtomicU64::new(0),
+        });
+        Ok(Server {
+            listener,
+            local_addr,
+            ctx,
+        })
+    }
+
+    /// The actual bound address (resolves `:0` to the picked port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle to the shared state; clone-cheap and valid after
+    /// [`run`](Self::run) returns.
+    pub fn context(&self) -> Arc<ServeContext> {
+        Arc::clone(&self.ctx)
+    }
+
+    /// Serves until shutdown, then drains and returns.
+    ///
+    /// Shutdown triggers are SIGINT/SIGTERM (via [`shutdown`]) and
+    /// `POST /v1/shutdown`. From that point new submissions get 503
+    /// while status/metrics requests keep working; once the workers
+    /// finish every accepted job the loop exits and the workers are
+    /// joined — the "graceful drain, exit 0" contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal accept-loop I/O errors. Per-connection errors
+    /// (malformed requests, client hangups) are contained and answered
+    /// with 400 where possible.
+    pub fn run(self) -> io::Result<()> {
+        shutdown::install_handlers();
+        self.listener.set_nonblocking(true)?;
+        let workers = spawn_workers(&self.ctx, self.ctx.workers);
+        loop {
+            if shutdown::requested() {
+                self.ctx.begin_drain();
+            }
+            if self.ctx.is_draining() && workers.iter().all(|w| w.is_finished()) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let ctx = Arc::clone(&self.ctx);
+                    thread::spawn(move || handle_connection(stream, &ctx));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// Serves one request on `stream`; all errors are contained here.
+fn handle_connection(mut stream: TcpStream, ctx: &Arc<ServeContext>) {
+    // Accepted sockets must block (with a bound): the listener is
+    // nonblocking and some platforms make children inherit that.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let response = match read_request(&mut stream) {
+        Ok(request) => router::route(ctx, &request),
+        Err(e) => Response::error(400, &e.to_string()),
+    };
+    // A client that hung up before the response is its problem, not ours.
+    let _ = response.write_to(&mut stream);
+}

@@ -1,0 +1,68 @@
+//! Process-wide shutdown flag, set by SIGINT/SIGTERM.
+//!
+//! The workspace has no signal-handling dependency, so the installer is
+//! a minimal `signal(2)` FFI shim, confined to this module (the crate is
+//! otherwise `deny(unsafe_code)`). The handler does the only
+//! async-signal-safe thing a handler can usefully do: store a relaxed
+//! atomic. The accept loop polls [`requested`] and begins its drain —
+//! the signal never interrupts a running simulation job.
+//!
+//! The flag is process-global (signals are), but each
+//! [`Server`](crate::Server) drains via its own per-instance flag, so
+//! tests can run several servers in one process and shut them down
+//! independently through `POST /v1/shutdown`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// True once a termination signal has been delivered (or [`request`]
+/// called).
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Sets the shutdown flag by hand (testing aid; servers normally drain
+/// via their own flag).
+pub fn request() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGINT/SIGTERM handlers (no-op off Unix). Idempotent.
+pub fn install_handlers() {
+    ffi::install();
+}
+
+#[cfg(unix)]
+mod ffi {
+    #![allow(unsafe_code)]
+
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    type Handler = extern "C" fn(i32);
+
+    extern "C" {
+        fn signal(signum: i32, handler: Handler) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        super::SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // The returned previous handler is deliberately discarded; there
+        // is nothing to chain to in this binary.
+        unsafe {
+            let _ = signal(SIGINT, on_signal);
+            let _ = signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod ffi {
+    pub fn install() {}
+}

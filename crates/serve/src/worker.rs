@@ -1,0 +1,72 @@
+//! The fixed worker pool that turns queued jobs into reports.
+//!
+//! Workers pull from the bounded queue and execute plans through the
+//! shared warm [`Session`](swip_bench::Session) — every job after the
+//! first reuses the session's memoized traces and AsmDB outputs, which
+//! is the whole point of serving from one process. A worker exits when
+//! [`pop`](crate::queue::BoundedQueue::pop) returns `None`, i.e. the
+//! queue is closed *and* drained, so shutdown naturally finishes
+//! accepted work first.
+//!
+//! Panic containment is two-layered: the engine already catches panics
+//! on its own pool (surfacing them as
+//! [`EngineError::JobPanicked`](swip_bench::EngineError)), and the
+//! worker wraps the whole job in `catch_unwind` besides — a poisoned job
+//! becomes a `failed` record with a reason, never a dead server.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use swip_bench::{build_plan_report, ExperimentPlan};
+
+use crate::server::ServeContext;
+
+/// One accepted unit of work: the job id plus its resolved plan.
+pub(crate) struct QueuedJob {
+    pub(crate) id: u64,
+    pub(crate) plan: ExperimentPlan,
+}
+
+/// Spawns `n` workers against the context's queue.
+pub(crate) fn spawn_workers(ctx: &Arc<ServeContext>, n: usize) -> Vec<JoinHandle<()>> {
+    (0..n)
+        .map(|i| {
+            let ctx = Arc::clone(ctx);
+            thread::Builder::new()
+                .name(format!("swip-serve-worker-{i}"))
+                .spawn(move || worker_loop(&ctx))
+                .expect("spawning a worker thread")
+        })
+        .collect()
+}
+
+fn worker_loop(ctx: &ServeContext) {
+    while let Some(job) = ctx.queue.pop() {
+        ctx.registry.mark_running(job.id);
+        let outcome = catch_unwind(AssertUnwindSafe(|| execute(ctx, &job.plan)));
+        match outcome {
+            Ok(Ok(report_json)) => ctx.registry.mark_done(job.id, report_json),
+            Ok(Err(reason)) => ctx.registry.mark_failed(job.id, reason),
+            Err(payload) => ctx
+                .registry
+                .mark_failed(job.id, format!("job panicked: {}", panic_text(&payload))),
+        }
+    }
+}
+
+/// Runs one plan to a rendered deterministic report.
+fn execute(ctx: &ServeContext, plan: &ExperimentPlan) -> Result<String, String> {
+    let results = ctx.session.run(plan).map_err(|e| e.to_string())?;
+    Ok(build_plan_report(&ctx.session, &results).to_json())
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "opaque panic payload"
+    }
+}

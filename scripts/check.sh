@@ -37,4 +37,51 @@ echo "==> swip report $report"
 cargo run -p swip-cli --release --quiet -- report "$report"
 echo "structured run report present and loadable"
 
+echo "==> swip report --diff exit codes"
+if ! cargo run -p swip-cli --release --quiet -- report --diff "$report" "$report"; then
+    echo "FAIL: diff of a report against itself must exit 0" >&2
+    exit 1
+fi
+set +e
+cargo run -p swip-cli --release --quiet -- report --diff "$report" /nonexistent.json
+code=$?
+set -e
+if [ "$code" -ne 2 ]; then
+    echo "FAIL: diff against an unreadable file must exit 2 (got $code)" >&2
+    exit 1
+fi
+echo "report --diff follows the diff(1) exit convention"
+
+echo "==> smoke: swip serve (ephemeral port, probe, graceful drain)"
+cargo build -q --release -p swip-cli -p swip-serve
+serve_log="target/serve-smoke.log"
+./target/release/swip serve --addr 127.0.0.1:0 --workers 1 --queue-depth 4 \
+    --instructions 20000 --stride 48 >"$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^listening on //p' "$serve_log")
+    [ -n "$addr" ] && break
+    sleep 0.2
+done
+if [ -z "$addr" ]; then
+    echo "FAIL: server never reported its address" >&2
+    cat "$serve_log" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+if ! ./target/release/serve_probe "$addr"; then
+    echo "FAIL: serve probe failed" >&2
+    cat "$serve_log" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+# The probe requested a drain; the server must exit 0 on its own.
+if ! wait "$serve_pid"; then
+    echo "FAIL: swip serve did not exit 0 after drain" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+echo "serve smoke passed (served on $addr, drained, exit 0)"
+
 echo "All checks passed."

@@ -1,0 +1,284 @@
+//! Integration tests for `swip-serve` over a real loopback socket:
+//! served reports must be byte-identical to offline runs, a full queue
+//! must shed load with 429, and shutdown must drain accepted work.
+
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use swip_bench::{build_plan_report, ExperimentPlan, SessionBuilder};
+use swip_report::{Json, PlanSpec};
+use swip_serve::{client, JobState, ServeConfig, ServeContext, Server};
+
+const POLL: Duration = Duration::from_millis(50);
+const DEADLINE: Duration = Duration::from_secs(180);
+
+struct Harness {
+    addr: String,
+    ctx: Arc<ServeContext>,
+    server: JoinHandle<std::io::Result<()>>,
+}
+
+/// Binds a server on an ephemeral loopback port and runs it on a thread.
+fn start(instructions: u64, stride: usize, threads: usize, config: ServeConfig) -> Harness {
+    let session = SessionBuilder::new()
+        .instructions(instructions)
+        .stride(stride)
+        .threads(threads)
+        .build()
+        .unwrap();
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..config
+    };
+    let server = Server::bind(&config, session).unwrap();
+    let addr = server.local_addr().to_string();
+    let ctx = server.context();
+    let handle = thread::spawn(move || server.run());
+    Harness {
+        addr,
+        ctx,
+        server: handle,
+    }
+}
+
+fn submit(addr: &str, body: &str) -> (u16, String) {
+    client::request(addr, "POST", "/v1/jobs", Some(body)).unwrap()
+}
+
+fn job_id(body: &str) -> u64 {
+    Json::parse(body)
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("no job id in {body}"))
+}
+
+fn wait_done(addr: &str, id: u64) {
+    let started = Instant::now();
+    loop {
+        let (status, body) = client::request(addr, "GET", &format!("/v1/jobs/{id}"), None).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let state = Json::parse(&body)
+            .unwrap()
+            .get("state")
+            .and_then(|s| s.as_str().map(String::from))
+            .unwrap();
+        match state.as_str() {
+            "done" => return,
+            "failed" => panic!("job {id} failed: {body}"),
+            _ => {
+                assert!(
+                    started.elapsed() < DEADLINE,
+                    "job {id} still {state} after {DEADLINE:?}"
+                );
+                thread::sleep(POLL);
+            }
+        }
+    }
+}
+
+fn fetch_report(addr: &str, id: u64) -> String {
+    let (status, body) =
+        client::request(addr, "GET", &format!("/v1/jobs/{id}/report"), None).unwrap();
+    assert_eq!(status, 200, "{body}");
+    body
+}
+
+#[test]
+fn served_report_is_byte_identical_to_an_offline_run() {
+    // stride 24 over the 48-workload suite → a 2-workload plan.
+    let h = start(20_000, 24, 2, ServeConfig::default());
+
+    let (status, body) = client::request(&h.addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ok\""), "{body}");
+
+    // Submit all six configs across both workloads, explicitly.
+    let (status, body) = submit(&h.addr, r#"{"workloads": [], "configs": []}"#);
+    assert_eq!(status, 202, "{body}");
+    let id = job_id(&body);
+    wait_done(&h.addr, id);
+    let served = fetch_report(&h.addr, id);
+
+    // The offline twin: same knobs, fresh session, same plan.
+    let offline_session = SessionBuilder::new()
+        .instructions(20_000)
+        .stride(24)
+        .threads(2)
+        .build()
+        .unwrap();
+    let workloads = offline_session.workloads();
+    assert_eq!(workloads.len(), 2, "expected a 2-workload plan");
+    let plan = ExperimentPlan::from_spec(&PlanSpec::default(), &workloads).unwrap();
+    let results = offline_session.run(&plan).unwrap();
+    let offline = build_plan_report(&offline_session, &results).to_json();
+
+    assert_eq!(
+        served, offline,
+        "served and offline reports must match byte-for-byte"
+    );
+
+    // The job resource carries the wall-clock the report deliberately
+    // omits, and the resolved plan.
+    let (_, job_body) = client::request(&h.addr, "GET", &format!("/v1/jobs/{id}"), None).unwrap();
+    let job = Json::parse(&job_body).unwrap();
+    assert!(job.get("run_seconds").and_then(Json::as_f64).unwrap() > 0.0);
+    let plan_json = job.get("plan").unwrap();
+    assert_eq!(
+        plan_json
+            .get("workloads")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .len(),
+        2
+    );
+    assert_eq!(
+        plan_json
+            .get("configs")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .len(),
+        6
+    );
+
+    // Bad submissions are typed 400s and never occupy the queue.
+    let (status, body) = submit(&h.addr, r#"{"workloads": ["nope"]}"#);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("unknown workload"), "{body}");
+    let (status, _) = submit(&h.addr, "not json");
+    assert_eq!(status, 400);
+
+    let (status, _) = client::request(&h.addr, "POST", "/v1/shutdown", None).unwrap();
+    assert_eq!(status, 202);
+    h.server.join().unwrap().unwrap();
+}
+
+#[test]
+fn full_queue_sheds_load_with_429_and_still_finishes_accepted_jobs() {
+    // One worker and a 2-deep queue: a burst of 8 submissions must
+    // overflow (at most 1 running + 2 queued can be admitted during the
+    // first job's runtime).
+    let h = start(
+        20_000,
+        48,
+        2,
+        ServeConfig {
+            workers: 1,
+            queue_depth: 2,
+            ..ServeConfig::default()
+        },
+    );
+
+    let submitters: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = h.addr.clone();
+            thread::spawn(move || {
+                let mut outcomes = Vec::new();
+                for _ in 0..2 {
+                    let (status, body) = submit(&addr, "{}");
+                    outcomes.push((status, body));
+                }
+                outcomes
+            })
+        })
+        .collect();
+    let outcomes: Vec<(u16, String)> = submitters
+        .into_iter()
+        .flat_map(|t| t.join().unwrap())
+        .collect();
+
+    let accepted: Vec<u64> = outcomes
+        .iter()
+        .filter(|(s, _)| *s == 202)
+        .map(|(_, b)| job_id(b))
+        .collect();
+    let rejected = outcomes.iter().filter(|(s, _)| *s == 429).count();
+    assert_eq!(accepted.len() + rejected, 8, "{outcomes:?}");
+    assert!(!accepted.is_empty(), "{outcomes:?}");
+    assert!(rejected >= 1, "queue never overflowed: {outcomes:?}");
+
+    // Every accepted job must reach `done`, and — same session, same
+    // plan — every report must be byte-identical.
+    let reports: Vec<String> = accepted
+        .iter()
+        .map(|&id| {
+            wait_done(&h.addr, id);
+            fetch_report(&h.addr, id)
+        })
+        .collect();
+    for r in &reports[1..] {
+        assert_eq!(r, &reports[0]);
+    }
+
+    // /metrics agrees with what we observed.
+    let (status, body) = client::request(&h.addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    let metrics = Json::parse(&body).unwrap();
+    assert_eq!(
+        metrics.get("jobs_done").and_then(Json::as_u64),
+        Some(accepted.len() as u64)
+    );
+    assert_eq!(
+        metrics.get("jobs_rejected").and_then(Json::as_u64),
+        Some(rejected as u64)
+    );
+    assert_eq!(
+        metrics.get("queue_capacity").and_then(Json::as_u64),
+        Some(2)
+    );
+    assert!(
+        metrics
+            .get("session_sim_runs")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+
+    let (status, _) = client::request(&h.addr, "POST", "/v1/shutdown", None).unwrap();
+    assert_eq!(status, 202);
+    h.server.join().unwrap().unwrap();
+    assert_eq!(h.ctx.rejected(), rejected as u64);
+}
+
+#[test]
+fn shutdown_drains_accepted_jobs_and_rejects_new_ones() {
+    let h = start(
+        20_000,
+        48,
+        2,
+        ServeConfig {
+            workers: 1,
+            queue_depth: 4,
+            ..ServeConfig::default()
+        },
+    );
+
+    // Two full-plan jobs: the second is still queued when we pull the
+    // plug, so the drain has real work to finish.
+    let (s1, b1) = submit(&h.addr, "{}");
+    let (s2, b2) = submit(&h.addr, "{}");
+    assert_eq!((s1, s2), (202, 202), "{b1} / {b2}");
+    let (id1, id2) = (job_id(&b1), job_id(&b2));
+
+    let (status, _) = client::request(&h.addr, "POST", "/v1/shutdown", None).unwrap();
+    assert_eq!(status, 202);
+
+    // While draining: health stays up and reports draining, new jobs
+    // are refused with 503.
+    let (status, body) = client::request(&h.addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"draining\":true"), "{body}");
+    let (status, body) = submit(&h.addr, "{}");
+    assert_eq!(status, 503, "{body}");
+
+    // The accept loop exits cleanly once the queue drains...
+    h.server.join().unwrap().unwrap();
+    // ...and both accepted jobs made it to `done`, not `failed`.
+    assert_eq!(h.ctx.job_state(id1), Some(JobState::Done));
+    assert_eq!(h.ctx.job_state(id2), Some(JobState::Done));
+    assert!(h.ctx.is_draining());
+    let [queued, running, done, failed] = h.ctx.job_counts();
+    assert_eq!((queued, running, failed), (0, 0, 0));
+    assert_eq!(done, 2);
+}
