@@ -1,6 +1,8 @@
 //! The end-to-end AsmDB pipeline: profile → analyze → rewrite.
 
-use swip_core::{PrefetchHints, SimConfig, SimReport, Simulator};
+use std::sync::Arc;
+
+use swip_core::{HintTable, PrefetchHints, SimConfig, SimReport, Simulator};
 use swip_trace::Trace;
 
 use crate::rewrite::{rewrite_trace, RewriteReport};
@@ -77,6 +79,10 @@ pub struct AsmdbOutput {
     /// No-overhead hints equivalent to the plan, for the idealized
     /// configurations (applied to the *original* trace).
     pub hints: PrefetchHints,
+    /// The same hints as a prebuilt shared table: built once here so every
+    /// no-overhead simulation of this workload shares one copy by `Arc`
+    /// instead of cloning the map per run.
+    pub hint_table: Arc<HintTable>,
     /// The minimum distance used (IPC × LLC latency, floored).
     pub min_distance: u64,
 }
@@ -143,12 +149,14 @@ impl Asmdb {
         let (plan, min_distance) = self.plan(trace, &profile, sim_config);
         let (rewritten, report) = rewrite_trace(trace, &plan);
         let hints = plan.to_hints();
+        let hint_table = Arc::new(HintTable::from_pc_map(&hints));
         AsmdbOutput {
             profile,
             plan,
             rewritten,
             report,
             hints,
+            hint_table,
             min_distance,
         }
     }

@@ -30,7 +30,7 @@ fn run() -> Result<(), BenchError> {
             Simulator::new(fdp.clone()).run(&trace),
             Simulator::new(fdp_nl).run(&trace),
             Simulator::new(fdp_eip).run(&trace),
-            Simulator::new(fdp).run_with_hints(&trace, &asmdb_out.hints),
+            Simulator::new(fdp).run_with_hint_table(&trace, asmdb_out.hint_table.clone()),
         ];
         let speedups: Vec<f64> = runs.iter().map(|r| r.speedup_over(&base)).collect();
         let mut cells = vec![spec.name.clone()];

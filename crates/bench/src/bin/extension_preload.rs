@@ -32,7 +32,7 @@ fn run() -> Result<(), BenchError> {
         let runs = [
             Simulator::new(fdp.clone()).run(&trace),
             Simulator::new(fdp.clone()).run(&out.rewritten),
-            Simulator::new(fdp.clone()).run_with_hints(&trace, &out.hints),
+            Simulator::new(fdp.clone()).run_with_hint_table(&trace, out.hint_table.clone()),
             Simulator::new(fdp).run_with_preload(
                 &trace,
                 &out.plan.to_preload_metadata(),

@@ -58,6 +58,7 @@ use std::path::PathBuf;
 mod config;
 mod engine;
 pub mod figures;
+pub mod measure;
 mod plan;
 mod report;
 mod results;
@@ -65,6 +66,7 @@ mod session;
 
 pub use config::{AsmdbTuning, ConfigId};
 pub use engine::EngineError;
+pub use measure::{measure_throughput, ConfigThroughput, ThroughputReport};
 pub use plan::{ExperimentPlan, PlanError};
 pub use report::{build_plan_report, build_run_report, emit_report, session_counter_pairs};
 pub use results::WorkloadResults;

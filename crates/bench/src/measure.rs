@@ -1,0 +1,335 @@
+//! Tracked simulator-throughput measurement (`swip bench --measure`).
+//!
+//! The hot-path work in this workspace is judged by one number: how many
+//! simulated instructions per second of wall clock the cycle loop
+//! retires. This module times a pinned sweep — every session workload
+//! under each of the six paper configurations, run serially on one
+//! thread so the number is a property of the simulator, not of the
+//! machine's core count — and writes the result as
+//! `BENCH_throughput.json` so successive commits can be compared.
+//!
+//! Trace generation and AsmDB profiling are warmed (memoized on the
+//! [`Session`]) before the clock starts; the timed region is simulation
+//! only.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use swip_report::Json;
+
+use crate::{ConfigId, Session};
+
+/// Default output path, relative to the working directory (the repo root
+/// under `cargo run`).
+pub const THROUGHPUT_FILE: &str = "BENCH_throughput.json";
+
+/// Wall-clock throughput of one [`ConfigId`] over the measured sweep.
+#[derive(Clone, Debug)]
+pub struct ConfigThroughput {
+    /// The configuration measured.
+    pub config: ConfigId,
+    /// Simulated (retired) instructions summed over the sweep.
+    pub instructions: u64,
+    /// Simulated cycles summed over the sweep.
+    pub cycles: u64,
+    /// Wall-clock seconds for the serial sweep.
+    pub seconds: f64,
+    /// `instructions / seconds` — the tracked metric.
+    pub instrs_per_sec: f64,
+}
+
+/// The full measurement: per-configuration rows plus the aggregate.
+#[derive(Clone, Debug)]
+pub struct ThroughputReport {
+    /// Instruction budget per workload.
+    pub instructions: u64,
+    /// Workload-suite stride.
+    pub stride: usize,
+    /// Number of workloads in the sweep.
+    pub workloads: usize,
+    /// One row per configuration, in canonical order.
+    pub configs: Vec<ConfigThroughput>,
+    /// Total simulated instructions across all configurations.
+    pub total_instructions: u64,
+    /// Total wall-clock seconds across all configurations.
+    pub total_seconds: f64,
+}
+
+impl ThroughputReport {
+    /// Aggregate instructions per second across every configuration.
+    pub fn total_instrs_per_sec(&self) -> f64 {
+        if self.total_seconds > 0.0 {
+            self.total_instructions as f64 / self.total_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// The report as a [`Json`] tree (schema version 1).
+    pub fn to_json(&self) -> Json {
+        let configs = self
+            .configs
+            .iter()
+            .map(|c| {
+                Json::Obj(vec![
+                    ("config".into(), Json::Str(c.config.label().into())),
+                    ("instructions".into(), Json::U64(c.instructions)),
+                    ("cycles".into(), Json::U64(c.cycles)),
+                    ("seconds".into(), Json::F64(c.seconds)),
+                    ("instrs_per_sec".into(), Json::F64(c.instrs_per_sec)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("version".into(), Json::U64(1)),
+            ("kind".into(), Json::Str("swip-throughput".into())),
+            ("instructions".into(), Json::U64(self.instructions)),
+            ("stride".into(), Json::U64(self.stride as u64)),
+            ("workloads".into(), Json::U64(self.workloads as u64)),
+            ("configs".into(), Json::Arr(configs)),
+            (
+                "total_instructions".into(),
+                Json::U64(self.total_instructions),
+            ),
+            ("total_seconds".into(), Json::F64(self.total_seconds)),
+            (
+                "total_instrs_per_sec".into(),
+                Json::F64(self.total_instrs_per_sec()),
+            ),
+        ])
+    }
+
+    /// Writes the report as pretty JSON to `path`, returning the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O failure creating or writing the file.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<PathBuf> {
+        let path = path.as_ref().to_path_buf();
+        std::fs::write(&path, self.to_json().render_pretty())?;
+        Ok(path)
+    }
+
+    /// True when `json` looks like a throughput report (the `kind` tag).
+    pub fn is_throughput_json(json: &Json) -> bool {
+        json.get("kind").and_then(Json::as_str) == Some("swip-throughput")
+    }
+
+    /// Parses a report back from its [`Json`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field, so
+    /// `scripts/check.sh` (via `swip report`) rejects truncated or
+    /// hand-mangled files instead of summarizing garbage.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        fn u64_field(json: &Json, key: &str) -> Result<u64, String> {
+            json.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+        }
+        fn f64_field(json: &Json, key: &str) -> Result<f64, String> {
+            json.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+        }
+        if !Self::is_throughput_json(json) {
+            return Err("not a swip-throughput report (bad or missing \"kind\")".into());
+        }
+        let version = u64_field(json, "version")?;
+        if version != 1 {
+            return Err(format!("unsupported throughput-report version {version}"));
+        }
+        let configs = json
+            .get("configs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "missing or non-array field \"configs\"".to_string())?
+            .iter()
+            .map(|c| {
+                let label = c
+                    .get("config")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "config row without a \"config\" label".to_string())?;
+                let config = ConfigId::from_label(label)
+                    .ok_or_else(|| format!("unknown configuration label {label:?}"))?;
+                Ok(ConfigThroughput {
+                    config,
+                    instructions: u64_field(c, "instructions")?,
+                    cycles: u64_field(c, "cycles")?,
+                    seconds: f64_field(c, "seconds")?,
+                    instrs_per_sec: f64_field(c, "instrs_per_sec")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(ThroughputReport {
+            instructions: u64_field(json, "instructions")?,
+            stride: u64_field(json, "stride")? as usize,
+            workloads: u64_field(json, "workloads")? as usize,
+            configs,
+            total_instructions: u64_field(json, "total_instructions")?,
+            total_seconds: f64_field(json, "total_seconds")?,
+        })
+    }
+
+    /// A human-readable summary (the `swip report` rendering).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "throughput: {} workloads x {} instrs (stride {})",
+            self.workloads, self.instructions, self.stride
+        );
+        for c in &self.configs {
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>12} instrs  {:>8.3} s  {:>12.0} instrs/s",
+                c.config.label(),
+                c.instructions,
+                c.seconds,
+                c.instrs_per_sec
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>12} instrs  {:>8.3} s  {:>12.0} instrs/s",
+            "total",
+            self.total_instructions,
+            self.total_seconds,
+            self.total_instrs_per_sec()
+        );
+        out
+    }
+}
+
+/// Measures simulator throughput over the session's workload sweep.
+///
+/// Each configuration's jobs run serially on the calling thread; traces
+/// and AsmDB outputs are warmed first so the timed region is the cycle
+/// loop (plus memoized-`Arc` lookups), matching what the hot-path
+/// optimizations actually target.
+pub fn measure_throughput(session: &Session) -> ThroughputReport {
+    let specs = session.workloads();
+
+    // Warm every memoized input outside the timed region.
+    for spec in &specs {
+        let _ = session.trace(spec);
+        let _ = session.asmdb(spec);
+    }
+
+    let mut configs = Vec::with_capacity(ConfigId::ALL.len());
+    let mut total_instructions = 0u64;
+    let mut total_seconds = 0.0f64;
+    for id in ConfigId::ALL {
+        let mut instructions = 0u64;
+        let mut cycles = 0u64;
+        let start = Instant::now();
+        for spec in &specs {
+            let report = session.run_job(spec, id);
+            instructions += report.instructions;
+            cycles += report.cycles;
+        }
+        let seconds = start.elapsed().as_secs_f64();
+        let instrs_per_sec = if seconds > 0.0 {
+            instructions as f64 / seconds
+        } else {
+            0.0
+        };
+        eprintln!(
+            "[measure] {:<18} {:>10} instrs in {:>8.3} s  ({:>12.0} instrs/s)",
+            id.label(),
+            instructions,
+            seconds,
+            instrs_per_sec
+        );
+        total_instructions += instructions;
+        total_seconds += seconds;
+        configs.push(ConfigThroughput {
+            config: id,
+            instructions,
+            cycles,
+            seconds,
+            instrs_per_sec,
+        });
+    }
+
+    ThroughputReport {
+        instructions: session.instructions(),
+        stride: session.stride(),
+        workloads: specs.len(),
+        configs,
+        total_instructions,
+        total_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SessionBuilder;
+
+    #[test]
+    fn measures_all_six_configs_and_round_trips_as_json() {
+        let session = SessionBuilder::new()
+            .instructions(2_000)
+            .stride(24)
+            .build()
+            .unwrap();
+        let report = measure_throughput(&session);
+        assert_eq!(report.configs.len(), ConfigId::ALL.len());
+        assert_eq!(report.workloads, session.workloads().len());
+        assert!(report.total_instructions > 0);
+        assert!(report.total_instrs_per_sec() > 0.0);
+        for c in &report.configs {
+            assert!(c.instructions > 0, "{}", c.config.label());
+            assert!(c.cycles > 0, "{}", c.config.label());
+        }
+
+        // The emitted JSON must be loadable by swip-report's parser —
+        // check.sh leans on exactly this round trip.
+        let parsed = Json::parse(&report.to_json().render_pretty()).unwrap();
+        assert_eq!(
+            parsed.get("kind").and_then(Json::as_str),
+            Some("swip-throughput")
+        );
+        assert_eq!(
+            parsed
+                .get("configs")
+                .and_then(Json::as_arr)
+                .map(|a| a.len()),
+            Some(6)
+        );
+        let total = parsed
+            .get("total_instrs_per_sec")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!(total > 0.0);
+
+        // And through the typed loader `swip report` uses.
+        assert!(ThroughputReport::is_throughput_json(&parsed));
+        let loaded = ThroughputReport::from_json(&parsed).unwrap();
+        assert_eq!(loaded.total_instructions, report.total_instructions);
+        assert_eq!(loaded.configs.len(), 6);
+        assert!(loaded.total_instrs_per_sec() > 0.0);
+        assert!(!loaded.summary().is_empty());
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_reports() {
+        assert!(ThroughputReport::from_json(&Json::parse("{}").unwrap()).is_err());
+        let wrong_kind = Json::parse(r#"{"kind": "swip-run", "version": 1}"#).unwrap();
+        assert!(ThroughputReport::from_json(&wrong_kind).is_err());
+        let bad_version = Json::parse(r#"{"kind": "swip-throughput", "version": 99}"#).unwrap();
+        assert!(ThroughputReport::from_json(&bad_version).is_err());
+        let bad_label = Json::parse(
+            r#"{"kind": "swip-throughput", "version": 1, "configs":
+               [{"config": "ftq48_fdp", "instructions": 1, "cycles": 1,
+                 "seconds": 0.1, "instrs_per_sec": 10.0}]}"#,
+        )
+        .unwrap();
+        assert!(ThroughputReport::from_json(&bad_label)
+            .unwrap_err()
+            .contains("ftq48_fdp"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Microbenchmarks for the branch crate's hot kernels: the flat
+//! set-associative BTB and the full predict/resolve path through the
+//! TAGE-lite direction predictor's flattened tagged tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swip_branch::{BranchConfig, BranchUnit, Btb, DirectionKind};
+use swip_types::{Addr, BranchKind};
+
+fn bench_btb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("branch_hot");
+    g.bench_function("btb_lookup_hit", |b| {
+        let mut btb = Btb::new(1024, 8);
+        for i in 0..4096u64 {
+            btb.insert(
+                Addr::new(0x1000 + i * 8),
+                BranchKind::CondDirect,
+                Addr::new(0x9000),
+            );
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            std::hint::black_box(btb.lookup(Addr::new(0x1000 + i * 8)))
+        });
+    });
+    g.bench_function("btb_insert_churn", |b| {
+        let mut btb = Btb::new(1024, 8);
+        let mut i = 0u64;
+        b.iter(|| {
+            // A footprint larger than capacity keeps inserts replacing
+            // LRU ways in the flat array.
+            i = (i + 1) % 16384;
+            std::hint::black_box(btb.insert(
+                Addr::new(0x1000 + i * 8),
+                BranchKind::CondDirect,
+                Addr::new(0x9000),
+            ))
+        });
+    });
+    g.finish();
+}
+
+fn bench_tage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("branch_hot");
+    let config = BranchConfig {
+        direction: DirectionKind::TageLite,
+        ..BranchConfig::default()
+    };
+    g.bench_function("tage_predict_at", |b| {
+        let mut unit = BranchUnit::new(config.clone());
+        for i in 0..1024u64 {
+            unit.resolve(
+                Addr::new(0x1000 + i * 12),
+                BranchKind::CondDirect,
+                Addr::new(0x4000 + i * 4),
+                i.is_multiple_of(3),
+                false,
+            );
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            std::hint::black_box(unit.predict_at(Addr::new(0x1000 + i * 12)))
+        });
+    });
+    g.bench_function("tage_resolve", |b| {
+        let mut unit = BranchUnit::new(config.clone());
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            unit.resolve(
+                Addr::new(0x1000 + i * 8),
+                BranchKind::CondDirect,
+                Addr::new(0x9000),
+                i.is_multiple_of(3),
+                false,
+            );
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_btb, bench_tage);
+criterion_main!(benches);

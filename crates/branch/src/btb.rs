@@ -53,7 +53,9 @@ impl Way {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Btb {
-    sets: Vec<Vec<Way>>,
+    /// All ways of all sets in one contiguous allocation, indexed by
+    /// `set * assoc + way` (flat layout; no per-set `Vec` indirection).
+    ways: Vec<Way>,
     set_bits: u32,
     assoc: usize,
     tick: u64,
@@ -72,7 +74,7 @@ impl Btb {
         );
         assert!(assoc > 0, "associativity must be nonzero");
         Btb {
-            sets: vec![vec![Way::INVALID; assoc]; sets],
+            ways: vec![Way::INVALID; sets * assoc],
             set_bits: sets.trailing_zeros(),
             assoc,
             tick: 0,
@@ -81,7 +83,7 @@ impl Btb {
 
     /// Total entry capacity.
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.assoc
+        self.ways.len()
     }
 
     fn index_and_tag(&self, pc: Addr) -> (usize, u64) {
@@ -99,7 +101,8 @@ impl Btb {
         let (idx, tag) = self.index_and_tag(pc);
         self.tick += 1;
         let tick = self.tick;
-        for way in self.sets[idx].iter_mut() {
+        let base = idx * self.assoc;
+        for way in &mut self.ways[base..base + self.assoc] {
             if way.valid && way.tag == tag {
                 way.lru = tick;
                 return Some(BtbEntry {
@@ -115,7 +118,8 @@ impl Btb {
     /// Looks up `pc` without perturbing replacement state.
     pub fn peek(&self, pc: Addr) -> Option<BtbEntry> {
         let (idx, tag) = self.index_and_tag(pc);
-        self.sets[idx]
+        let base = idx * self.assoc;
+        self.ways[base..base + self.assoc]
             .iter()
             .find(|w| w.valid && w.tag == tag)
             .map(|w| BtbEntry {
@@ -131,7 +135,8 @@ impl Btb {
         let (idx, tag) = self.index_and_tag(pc);
         self.tick += 1;
         let tick = self.tick;
-        let set = &mut self.sets[idx];
+        let base = idx * self.assoc;
+        let set = &mut self.ways[base..base + self.assoc];
         if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
             way.kind = kind;
             way.target = target;

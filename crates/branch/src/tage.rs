@@ -31,7 +31,9 @@ struct TaggedEntry {
 #[derive(Clone, Debug)]
 pub struct TageLite {
     bimodal: Vec<i8>,
-    tables: Vec<Vec<TaggedEntry>>,
+    /// All tagged tables in one contiguous allocation, indexed by
+    /// `table * 2^index_bits + index` (flat layout; no per-table `Vec`).
+    tagged: Vec<TaggedEntry>,
     index_bits: u32,
     /// Deterministic allocation "randomness" (LFSR-ish counter).
     alloc_seed: u64,
@@ -47,10 +49,15 @@ impl TageLite {
     pub fn new(log2_entries: u32) -> Self {
         TageLite {
             bimodal: vec![0; 1 << log2_entries],
-            tables: vec![vec![TaggedEntry::default(); 1 << log2_entries]; HISTORIES.len()],
+            tagged: vec![TaggedEntry::default(); HISTORIES.len() << log2_entries],
             index_bits: log2_entries,
             alloc_seed: 0x9e37_79b9,
         }
+    }
+
+    /// Flat slot of entry `i` in tagged table `t`.
+    fn slot(&self, t: usize, i: usize) -> usize {
+        (t << self.index_bits) + i
     }
 
     fn base_index(&self, pc: Addr) -> usize {
@@ -74,7 +81,7 @@ impl TageLite {
         let mut provider = None;
         let mut alt = None;
         for t in (0..HISTORIES.len()).rev() {
-            let e = &self.tables[t][self.index(t, pc, hist)];
+            let e = &self.tagged[self.slot(t, self.index(t, pc, hist))];
             if e.valid && e.tag == self.tag(t, pc, hist) {
                 if provider.is_none() {
                     provider = Some((t, self.index(t, pc, hist)));
@@ -93,7 +100,7 @@ impl TageLite {
     fn predict_taken(&self, pc: Addr, hist: &GlobalHistory) -> bool {
         let l = self.lookup(pc, hist);
         match l.provider {
-            Some((t, i)) => self.tables[t][i].ctr >= 0,
+            Some((t, i)) => self.tagged[self.slot(t, i)].ctr >= 0,
             None => l.alt_taken,
         }
     }
@@ -115,25 +122,26 @@ impl DirectionPredictor for TageLite {
     fn update(&mut self, pc: Addr, hist: &GlobalHistory, taken: bool) {
         let l = self.lookup(pc, hist);
         let predicted = match l.provider {
-            Some((t, i)) => self.tables[t][i].ctr >= 0,
+            Some((t, i)) => self.tagged[self.slot(t, i)].ctr >= 0,
             None => l.alt_taken,
         };
 
         // Provider update (or bimodal when no provider).
         match l.provider {
             Some((t, i)) => {
-                let provider_pred = self.tables[t][i].ctr >= 0;
+                let s = self.slot(t, i);
+                let provider_pred = self.tagged[s].ctr >= 0;
                 // Useful bit: the provider differed from the alternate and
                 // was right (increment) or wrong (decrement).
                 if provider_pred != l.alt_taken {
-                    let e = &mut self.tables[t][i];
+                    let e = &mut self.tagged[s];
                     if provider_pred == taken {
                         e.useful = (e.useful + 1).min(3);
                     } else {
                         e.useful = e.useful.saturating_sub(1);
                     }
                 }
-                bump(&mut self.tables[t][i].ctr, taken);
+                bump(&mut self.tagged[s].ctr, taken);
             }
             None => {
                 let idx = self.base_index(pc);
@@ -155,8 +163,9 @@ impl DirectionPredictor for TageLite {
                 for k in 0..(HISTORIES.len() - start) {
                     let t = start + (offset + k) % (HISTORIES.len() - start);
                     let i = self.index(t, pc, hist);
-                    if !self.tables[t][i].valid || self.tables[t][i].useful == 0 {
-                        self.tables[t][i] = TaggedEntry {
+                    let s = self.slot(t, i);
+                    if !self.tagged[s].valid || self.tagged[s].useful == 0 {
+                        self.tagged[s] = TaggedEntry {
                             tag: self.tag(t, pc, hist),
                             ctr: if taken { 0 } else { -1 },
                             useful: 0,
@@ -169,7 +178,8 @@ impl DirectionPredictor for TageLite {
                 if !allocated {
                     for t in start..HISTORIES.len() {
                         let i = self.index(t, pc, hist);
-                        let e = &mut self.tables[t][i];
+                        let s = self.slot(t, i);
+                        let e = &mut self.tagged[s];
                         e.useful = e.useful.saturating_sub(1);
                     }
                 }
@@ -178,12 +188,7 @@ impl DirectionPredictor for TageLite {
     }
 
     fn storage_bits(&self) -> usize {
-        self.bimodal.len() * 3
-            + self
-                .tables
-                .iter()
-                .map(|t| t.len() * (TAG_BITS as usize + 3 + 2 + 1))
-                .sum::<usize>()
+        self.bimodal.len() * 3 + self.tagged.len() * (TAG_BITS as usize + 3 + 2 + 1)
     }
 }
 

@@ -6,11 +6,26 @@ use crate::CacheConfig;
 #[cfg(test)]
 use crate::ReplacementKind;
 
+/// One way of one set: tag, replacement metadata, and the prefetched bit
+/// (folded in so the hot path touches a single contiguous array).
+///
+/// Shared with [`crate::ReplacementKind`], whose victim selection operates
+/// on a borrowed set slice in place — no per-fill scratch allocation.
 #[derive(Copy, Clone, Debug)]
-struct Way {
-    tag: u64,
-    meta: u64,
-    valid: bool,
+pub(crate) struct Way {
+    pub(crate) tag: u64,
+    pub(crate) meta: u64,
+    pub(crate) valid: bool,
+    pub(crate) prefetched: bool,
+}
+
+impl Way {
+    pub(crate) const EMPTY: Way = Way {
+        tag: 0,
+        meta: 0,
+        valid: false,
+        prefetched: false,
+    };
 }
 
 /// Per-level access statistics.
@@ -62,8 +77,10 @@ impl CacheStats {
 #[derive(Clone, Debug)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Way>>,
-    prefetched: Vec<Vec<bool>>,
+    /// All ways of all sets in one contiguous allocation, indexed by
+    /// `set * config.ways + way` — one cache line of `Way`s per lookup
+    /// instead of a pointer chase through nested `Vec`s.
+    ways: Vec<Way>,
     stats: CacheStats,
     tick: u64,
 }
@@ -90,19 +107,10 @@ impl Cache {
     /// Returns the [`crate::ConfigError`] from [`CacheConfig::validate`].
     pub fn try_new(config: CacheConfig) -> Result<Self, crate::ConfigError> {
         config.validate()?;
+        // `validate` guarantees `sets * ways` fits in `usize` (checked in
+        // u64 space), so the flat index below can never truncate.
         Ok(Cache {
-            sets: vec![
-                vec![
-                    Way {
-                        tag: 0,
-                        meta: 0,
-                        valid: false
-                    };
-                    config.ways
-                ];
-                config.sets
-            ],
-            prefetched: vec![vec![false; config.ways]; config.sets],
+            ways: vec![Way::EMPTY; config.sets * config.ways],
             config,
             stats: CacheStats::default(),
             tick: 0,
@@ -130,6 +138,18 @@ impl Cache {
         (idx, n >> self.config.sets.trailing_zeros())
     }
 
+    /// The ways of set `idx` as a contiguous slice.
+    fn set(&self, idx: usize) -> &[Way] {
+        let base = idx * self.config.ways;
+        &self.ways[base..base + self.config.ways]
+    }
+
+    /// The ways of set `idx` as a contiguous mutable slice.
+    fn set_mut(&mut self, idx: usize) -> &mut [Way] {
+        let base = idx * self.config.ways;
+        &mut self.ways[base..base + self.config.ways]
+    }
+
     /// Performs a (demand or prefetch) lookup, updating replacement and
     /// statistics. Returns `true` on hit.
     pub fn access(&mut self, line: LineAddr, is_prefetch: bool) -> bool {
@@ -138,16 +158,20 @@ impl Cache {
         let policy = self.config.replacement;
         let (idx, tag) = self.index_and_tag(line);
         let mut hit = false;
-        for (w, way) in self.sets[idx].iter_mut().enumerate() {
+        let mut useful = false;
+        for way in self.set_mut(idx) {
             if way.valid && way.tag == tag {
                 policy.on_hit(&mut way.meta, tick);
                 hit = true;
-                if !is_prefetch && self.prefetched[idx][w] {
-                    self.stats.useful_prefetches.incr();
-                    self.prefetched[idx][w] = false;
+                if !is_prefetch && way.prefetched {
+                    useful = true;
+                    way.prefetched = false;
                 }
                 break;
             }
+        }
+        if useful {
+            self.stats.useful_prefetches.incr();
         }
         if is_prefetch {
             self.stats.prefetch.record(hit);
@@ -160,7 +184,7 @@ impl Cache {
     /// Checks for presence without touching replacement or statistics.
     pub fn contains(&self, line: LineAddr) -> bool {
         let (idx, tag) = self.index_and_tag(line);
-        self.sets[idx].iter().any(|w| w.valid && w.tag == tag)
+        self.set(idx).iter().any(|w| w.valid && w.tag == tag)
     }
 
     /// Installs `line`, evicting if necessary. Returns the evicted line.
@@ -171,41 +195,39 @@ impl Cache {
         let policy = self.config.replacement;
         let (idx, tag) = self.index_and_tag(line);
         let set_bits = self.config.sets.trailing_zeros();
+        let set = {
+            let base = idx * self.config.ways;
+            &mut self.ways[base..base + self.config.ways]
+        };
 
-        if let Some((w, way)) = self.sets[idx]
-            .iter_mut()
-            .enumerate()
-            .find(|(_, w)| w.valid && w.tag == tag)
-        {
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
             policy.on_hit(&mut way.meta, tick);
-            self.prefetched[idx][w] = via_prefetch && self.prefetched[idx][w];
+            way.prefetched = via_prefetch && way.prefetched;
             return None;
         }
 
         // Prefer an invalid way.
-        if let Some(w) = self.sets[idx].iter().position(|w| !w.valid) {
-            self.sets[idx][w] = Way {
+        if let Some(way) = set.iter_mut().find(|w| !w.valid) {
+            *way = Way {
                 tag,
                 meta: policy.on_fill(tick),
                 valid: true,
+                prefetched: via_prefetch,
             };
-            self.prefetched[idx][w] = via_prefetch;
             return None;
         }
 
-        let mut metas: Vec<u64> = self.sets[idx].iter().map(|w| w.meta).collect();
-        let victim = policy.victim(&mut metas);
-        for (way, meta) in self.sets[idx].iter_mut().zip(metas) {
-            way.meta = meta; // SRRIP aging writes back
-        }
-        let evicted_tag = self.sets[idx][victim].tag;
+        // Victim selection runs in place on the borrowed set slice (SRRIP
+        // ages metadata there as a side effect) — nothing is allocated.
+        let victim = policy.victim(set);
+        let evicted_tag = set[victim].tag;
         let evicted = LineAddr::from_line_number((evicted_tag << set_bits) | idx as u64);
-        self.sets[idx][victim] = Way {
+        set[victim] = Way {
             tag,
             meta: policy.on_fill(tick),
             valid: true,
+            prefetched: via_prefetch,
         };
-        self.prefetched[idx][victim] = via_prefetch;
         self.stats.evictions.incr();
         Some(evicted)
     }
@@ -213,7 +235,7 @@ impl Cache {
     /// Removes `line` if present; returns whether it was present.
     pub fn invalidate(&mut self, line: LineAddr) -> bool {
         let (idx, tag) = self.index_and_tag(line);
-        for way in self.sets[idx].iter_mut() {
+        for way in self.set_mut(idx) {
             if way.valid && way.tag == tag {
                 way.valid = false;
                 return true;
@@ -224,10 +246,7 @@ impl Cache {
 
     /// Number of currently valid lines (test/inspection helper).
     pub fn occupancy(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.iter().filter(|w| w.valid).count())
-            .sum()
+        self.ways.iter().filter(|w| w.valid).count()
     }
 }
 

@@ -44,6 +44,17 @@ pub enum ConfigError {
         /// Structure name (`timeline`, …).
         name: String,
     },
+    /// `sets * ways` does not fit the platform's `usize`: the flat backing
+    /// store (one contiguous `Vec` indexed by `set * ways + way`) could not
+    /// be addressed without truncation.
+    CapacityOverflow {
+        /// Structure name.
+        name: String,
+        /// The rejected set count.
+        sets: usize,
+        /// The rejected associativity.
+        ways: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -70,11 +81,31 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroStride { name } => {
                 write!(f, "{name}: sampling stride must be positive (got 0)")
             }
+            ConfigError::CapacityOverflow { name, sets, ways } => write!(
+                f,
+                "{name}: {sets} sets x {ways} ways overflows the flat \
+                 backing store's address space"
+            ),
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Total way-slot count of a `sets × ways` geometry, computed in u64 space.
+///
+/// Returns `None` when the product overflows u64 or does not fit the
+/// platform's `usize` (possible on 32-bit targets, where `usize` math on
+/// the operands would silently truncate before the comparison). The flat
+/// cache/TLB backing stores index by `set * ways + way`, so any geometry
+/// accepted here is guaranteed addressable without wrap-around.
+pub(crate) fn flat_slots(sets: usize, ways: usize) -> Option<usize> {
+    let slots = (sets as u64).checked_mul(ways as u64)?;
+    if slots > usize::MAX as u64 {
+        return None;
+    }
+    Some(slots as usize)
+}
 
 /// Geometry and timing of one cache level.
 #[derive(Clone, Debug)]
@@ -170,6 +201,13 @@ impl CacheConfig {
         if self.ways == 0 {
             return Err(ConfigError::ZeroWays {
                 name: self.name.clone(),
+            });
+        }
+        if flat_slots(self.sets, self.ways).is_none() {
+            return Err(ConfigError::CapacityOverflow {
+                name: self.name.clone(),
+                sets: self.sets,
+                ways: self.ways,
             });
         }
         Ok(())
@@ -334,6 +372,41 @@ mod tests {
         });
         let err = h.validate().unwrap_err();
         assert!(err.to_string().contains("ITLB"), "{err}");
+    }
+
+    #[test]
+    fn flat_capacity_math_survives_the_32_bit_boundary() {
+        // Regression (mirrors the PR 3 fill-cursor test): the flat backing
+        // store is indexed by `set * ways + way`. Computing the slot count
+        // in `usize` space truncates on a 32-bit target once `sets * ways`
+        // crosses 2^32, which would wrap indices back into bounds and alias
+        // distinct sets. `flat_slots` multiplies in u64 space and rejects
+        // anything `usize` cannot address; exercise the boundary values.
+        assert_eq!(flat_slots(64, 8), Some(512));
+        assert_eq!(flat_slots(1, 1), Some(1));
+        // 2^31 x 4 = 2^33: representable in u64 on every target; a 32-bit
+        // `usize` multiply would truncate it to 0.
+        let big = 1usize << 31;
+        match flat_slots(big, 4) {
+            Some(slots) => assert_eq!(slots as u64, 1u64 << 33), // 64-bit host
+            None => assert!((usize::MAX as u64) < (1u64 << 33)), // 32-bit host
+        }
+        // 2^62 x 4 = 2^64 overflows even u64's checked multiply.
+        assert_eq!(flat_slots(1usize << 62, 4), None);
+        assert_eq!(flat_slots(usize::MAX, 2), None);
+
+        // `validate` surfaces the rejection as a typed error.
+        let mut c = CacheConfig::with_capacity_kib("L1I", 32, 8, 4, 8, ReplacementKind::Lru);
+        c.sets = 1usize << 62;
+        c.ways = 4;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::CapacityOverflow {
+                name: "L1I".into(),
+                sets: 1usize << 62,
+                ways: 4
+            })
+        );
     }
 
     #[test]

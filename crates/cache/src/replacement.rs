@@ -1,7 +1,11 @@
 //! Replacement policies.
 //!
 //! Policies operate on per-way metadata words owned by the cache, which keeps
-//! the policy stateless and lets one enum serve every level.
+//! the policy stateless and lets one enum serve every level. Victim selection
+//! works directly on the cache's borrowed set slice so steady-state fills
+//! never allocate scratch storage.
+
+use crate::cache::Way;
 
 /// Which replacement policy a cache level uses.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
@@ -34,22 +38,23 @@ impl ReplacementKind {
         }
     }
 
-    /// Chooses a victim way among `metas` (all valid). For SRRIP, ages the
-    /// set as a side effect until a way reaches the eviction interval.
-    pub(crate) fn victim(self, metas: &mut [u64]) -> usize {
+    /// Chooses a victim way among the set's ways (all valid), in place on
+    /// the cache's borrowed slice. For SRRIP, ages the set as a side effect
+    /// until a way reaches the eviction interval.
+    pub(crate) fn victim(self, ways: &mut [Way]) -> usize {
         match self {
-            ReplacementKind::Lru => metas
+            ReplacementKind::Lru => ways
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, &m)| m)
+                .min_by_key(|(_, w)| w.meta)
                 .map(|(i, _)| i)
                 .expect("victim called on empty set"),
             ReplacementKind::Srrip => loop {
-                if let Some(i) = metas.iter().position(|&m| m >= RRPV_MAX) {
+                if let Some(i) = ways.iter().position(|w| w.meta >= RRPV_MAX) {
                     break i;
                 }
-                for m in metas.iter_mut() {
-                    *m += 1;
+                for w in ways.iter_mut() {
+                    w.meta += 1;
                 }
             },
         }
@@ -60,10 +65,25 @@ impl ReplacementKind {
 mod tests {
     use super::*;
 
+    fn set(metas: &[u64]) -> Vec<Way> {
+        metas
+            .iter()
+            .map(|&meta| Way {
+                meta,
+                valid: true,
+                ..Way::EMPTY
+            })
+            .collect()
+    }
+
+    fn metas(ways: &[Way]) -> Vec<u64> {
+        ways.iter().map(|w| w.meta).collect()
+    }
+
     #[test]
     fn lru_victim_is_oldest() {
-        let mut metas = [5u64, 2, 9];
-        assert_eq!(ReplacementKind::Lru.victim(&mut metas), 1);
+        let mut ways = set(&[5, 2, 9]);
+        assert_eq!(ReplacementKind::Lru.victim(&mut ways), 1);
     }
 
     #[test]
@@ -83,16 +103,16 @@ mod tests {
 
     #[test]
     fn srrip_victim_ages_until_eviction() {
-        let mut metas = [0u64, 2, 1];
+        let mut ways = set(&[0, 2, 1]);
         // way 1 reaches RRPV_MAX after one aging round.
-        assert_eq!(ReplacementKind::Srrip.victim(&mut metas), 1);
-        assert_eq!(metas, [1, 3, 2]);
+        assert_eq!(ReplacementKind::Srrip.victim(&mut ways), 1);
+        assert_eq!(metas(&ways), [1, 3, 2]);
     }
 
     #[test]
     fn srrip_prefers_existing_max() {
-        let mut metas = [3u64, 0, 2];
-        assert_eq!(ReplacementKind::Srrip.victim(&mut metas), 0);
-        assert_eq!(metas, [3, 0, 2]); // no aging needed
+        let mut ways = set(&[3, 0, 2]);
+        assert_eq!(ReplacementKind::Srrip.victim(&mut ways), 0);
+        assert_eq!(metas(&ways), [3, 0, 2]); // no aging needed
     }
 }

@@ -52,6 +52,13 @@ impl TlbConfig {
                 name: "ITLB".into(),
             });
         }
+        if crate::config::flat_slots(self.sets, self.ways).is_none() {
+            return Err(ConfigError::CapacityOverflow {
+                name: "ITLB".into(),
+                sets: self.sets,
+                ways: self.ways,
+            });
+        }
         Ok(())
     }
 }
@@ -83,7 +90,9 @@ struct TlbWay {
 #[derive(Clone, Debug)]
 pub struct Tlb {
     config: TlbConfig,
-    sets: Vec<Vec<TlbWay>>,
+    /// All ways of all sets in one contiguous allocation, indexed by
+    /// `set * config.ways + way` (same flat layout as [`crate::Cache`]).
+    ways: Vec<TlbWay>,
     tick: u64,
     stats: TlbStats,
 }
@@ -119,17 +128,16 @@ impl Tlb {
     /// Returns the [`ConfigError`] from [`TlbConfig::validate`].
     pub fn try_new(config: TlbConfig) -> Result<Self, ConfigError> {
         config.validate()?;
+        // `validate` guarantees `sets * ways` fits in `usize` (checked in
+        // u64 space), so the flat index below can never truncate.
         Ok(Tlb {
-            sets: vec![
-                vec![
-                    TlbWay {
-                        tag: 0,
-                        lru: 0,
-                        valid: false
-                    };
-                    config.ways
-                ];
-                config.sets
+            ways: vec![
+                TlbWay {
+                    tag: 0,
+                    lru: 0,
+                    valid: false
+                };
+                config.sets * config.ways
             ],
             config,
             tick: 0,
@@ -139,7 +147,7 @@ impl Tlb {
 
     /// Entry capacity.
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.config.ways
+        self.ways.len()
     }
 
     /// Accumulated statistics.
@@ -150,8 +158,8 @@ impl Tlb {
     fn index_and_tag(&self, addr: Addr) -> (usize, u64) {
         let page = addr.raw() >> PAGE_SHIFT;
         (
-            (page & (self.sets.len() as u64 - 1)) as usize,
-            page >> self.sets.len().trailing_zeros(),
+            (page & (self.config.sets as u64 - 1)) as usize,
+            page >> self.config.sets.trailing_zeros(),
         )
     }
 
@@ -162,7 +170,8 @@ impl Tlb {
         self.tick += 1;
         let tick = self.tick;
         let (idx, tag) = self.index_and_tag(addr);
-        let set = &mut self.sets[idx];
+        let base = idx * self.config.ways;
+        let set = &mut self.ways[base..base + self.config.ways];
         if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
             way.lru = tick;
             self.stats.lookups.record(true);

@@ -16,10 +16,11 @@
 //!   plan, and rewrite derived from it) without simulating; exits non-zero
 //!   when errors are found;
 //! * `swip bench [--figure NAME] [--instructions N] [--stride N]
-//!   [--threads K] [--asmdb TUNING] [--cache-dir DIR]` — run a paper
-//!   figure (or `all` of them) through the parallel experiment engine;
-//!   the `all` sweep also writes a structured `report.json` next to the
-//!   TSVs;
+//!   [--threads K] [--asmdb TUNING] [--cache-dir DIR] [--measure]` — run
+//!   a paper figure (or `all` of them) through the parallel experiment
+//!   engine; the `all` sweep also writes a structured `report.json` next
+//!   to the TSVs; `--measure` instead times the simulator over the sweep
+//!   and writes `BENCH_throughput.json` (the tracked hot-path metric);
 //! * `swip report FILE` — summarize a `report.json`; `swip report --diff
 //!   A B` — print the counter-level differences between two run reports
 //!   and exit like `diff(1)`: 0 when they match, 1 when they differ, 2
@@ -111,6 +112,9 @@ pub enum Command {
         asmdb: swip_bench::AsmdbTuning,
         /// Directory for the on-disk trace cache.
         cache_dir: Option<String>,
+        /// Measure simulator throughput instead of emitting figures, and
+        /// write `BENCH_throughput.json` to the working directory.
+        measure: bool,
     },
     /// Summarize or diff structured run reports.
     Report {
@@ -162,7 +166,7 @@ USAGE:
   swip asmdb FILE --out FILE [--aggressive]
   swip analyze FILE [--json]
   swip bench [--figure NAME] [--instructions N] [--stride N] [--threads K]
-             [--asmdb default|aggressive|wide] [--cache-dir DIR]
+             [--asmdb default|aggressive|wide] [--cache-dir DIR] [--measure]
   swip report FILE
   swip report --diff FILE FILE     (exits 0 match / 1 differ / 2 unreadable)
   swip serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
@@ -301,6 +305,7 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
             let mut threads = None;
             let mut asmdb = swip_bench::AsmdbTuning::Default;
             let mut cache_dir = None;
+            let mut measure = false;
             while let Some(a) = it.next() {
                 match a {
                     "--figure" => figure = take_value(&mut it, a)?.to_string(),
@@ -313,6 +318,7 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
                             .ok_or_else(|| UsageError(format!("unknown asmdb tuning {v}")))?;
                     }
                     "--cache-dir" => cache_dir = Some(take_value(&mut it, a)?.to_string()),
+                    "--measure" => measure = true,
                     other => return Err(UsageError(format!("unknown flag {other}"))),
                 }
             }
@@ -323,6 +329,7 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
                 threads,
                 asmdb,
                 cache_dir,
+                measure,
             })
         }
         "report" => {
@@ -514,6 +521,7 @@ pub fn execute(cmd: Command) -> Result<u8, Box<dyn Error>> {
             threads,
             asmdb,
             cache_dir,
+            measure,
         } => {
             let mut builder = swip_bench::SessionBuilder::new()
                 .instructions(instructions)
@@ -526,7 +534,19 @@ pub fn execute(cmd: Command) -> Result<u8, Box<dyn Error>> {
                 builder = builder.cache_dir(dir);
             }
             let session = builder.build()?;
-            swip_bench::figures::run_figure(&session, &figure)?;
+            if measure {
+                let report = swip_bench::measure_throughput(&session);
+                let path = report.write_to(swip_bench::measure::THROUGHPUT_FILE)?;
+                println!(
+                    "wrote {}: {} instrs in {:.3} s ({:.0} instrs/s aggregate)",
+                    path.display(),
+                    report.total_instructions,
+                    report.total_seconds,
+                    report.total_instrs_per_sec()
+                );
+            } else {
+                swip_bench::figures::run_figure(&session, &figure)?;
+            }
         }
         Command::Report { files } => {
             let load = |path: &str| -> Result<swip_report::RunReport, Box<dyn Error>> {
@@ -536,7 +556,27 @@ pub fn execute(cmd: Command) -> Result<u8, Box<dyn Error>> {
                     .map_err(|e| UsageError(format!("{path}: {e}")))?)
             };
             match files.as_slice() {
-                [file] => print!("{}", load(file)?.summary()),
+                [file] => {
+                    // `swip report` also summarizes throughput reports
+                    // (`swip bench --measure`); sniff the `kind` tag via
+                    // the shared JSON parser before assuming a run report.
+                    let text = std::fs::read_to_string(file)
+                        .map_err(|e| UsageError(format!("could not read {file}: {e}")))?;
+                    let sniff = swip_report::Json::parse(&text)
+                        .map_err(|e| UsageError(format!("{file}: {e}")))?;
+                    if swip_bench::ThroughputReport::is_throughput_json(&sniff) {
+                        let tp = swip_bench::ThroughputReport::from_json(&sniff)
+                            .map_err(|e| UsageError(format!("{file}: {e}")))?;
+                        print!("{}", tp.summary());
+                        if tp.total_instrs_per_sec() <= 0.0 {
+                            return Err(Box::new(UsageError(format!(
+                                "{file}: throughput report has zero instrs/sec"
+                            ))));
+                        }
+                    } else {
+                        print!("{}", load(file)?.summary());
+                    }
+                }
                 [a, b] => {
                     // diff(1) exit convention: unreadable/unparsable
                     // input is 2, a real difference is 1.
@@ -733,7 +773,8 @@ mod tests {
                 stride: 1,
                 threads: None,
                 asmdb: swip_bench::AsmdbTuning::Default,
-                cache_dir: None
+                cache_dir: None,
+                measure: false
             })
         );
         assert_eq!(
@@ -758,7 +799,27 @@ mod tests {
                 stride: 16,
                 threads: Some(4),
                 asmdb: swip_bench::AsmdbTuning::Wide,
-                cache_dir: Some("/tmp/swip-cache".into())
+                cache_dir: Some("/tmp/swip-cache".into()),
+                measure: false
+            })
+        );
+        assert_eq!(
+            parse(&[
+                "bench",
+                "--measure",
+                "--instructions",
+                "2_000",
+                "--stride",
+                "24"
+            ]),
+            Ok(Command::Bench {
+                figure: "all".into(),
+                instructions: 2_000,
+                stride: 24,
+                threads: None,
+                asmdb: swip_bench::AsmdbTuning::Default,
+                cache_dir: None,
+                measure: true
             })
         );
     }
@@ -798,6 +859,7 @@ mod tests {
             threads: None,
             asmdb: swip_bench::AsmdbTuning::Default,
             cache_dir: None,
+            measure: false,
         })
         .unwrap_err();
         assert!(err.to_string().contains("stride"), "{err}");
@@ -913,6 +975,46 @@ mod tests {
         assert!(err.to_string().contains("version"), "{err}");
         let _ = std::fs::remove_file(&a);
         let _ = std::fs::remove_file(&b);
+    }
+
+    #[test]
+    fn report_summarizes_throughput_json() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("swip_cli_throughput.json").display().to_string();
+        std::fs::write(
+            &path,
+            r#"{"version": 1, "kind": "swip-throughput", "instructions": 2000,
+                "stride": 24, "workloads": 2,
+                "configs": [{"config": "ftq2_fdp", "instructions": 4000,
+                             "cycles": 9000, "seconds": 0.01,
+                             "instrs_per_sec": 400000.0}],
+                "total_instructions": 4000, "total_seconds": 0.01,
+                "total_instrs_per_sec": 400000.0}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            execute(Command::Report {
+                files: vec![path.clone()],
+            })
+            .unwrap(),
+            0
+        );
+        // A throughput report that claims zero instrs/sec is an error,
+        // not a quiet success — check.sh depends on this.
+        std::fs::write(
+            &path,
+            r#"{"version": 1, "kind": "swip-throughput", "instructions": 2000,
+                "stride": 24, "workloads": 2, "configs": [],
+                "total_instructions": 0, "total_seconds": 0.0,
+                "total_instrs_per_sec": 0.0}"#,
+        )
+        .unwrap();
+        let err = execute(Command::Report {
+            files: vec![path.clone()],
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("zero instrs/sec"), "{err}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use swip_frontend::DecodedInstr;
 use swip_types::{Counter, Cycle, InstrKind, Instruction, Reg, SeqNum};
 
 /// Backend sizing and latencies.
-#[derive(Clone, Debug)]
+#[derive(Copy, Clone, Debug)]
 pub struct BackendConfig {
     /// Reorder-buffer capacity (dispatch stalls when full).
     pub rob_size: usize,
@@ -113,6 +113,14 @@ pub struct Backend {
     rob: VecDeque<RobSlot>,
     reg_ready: [Cycle; Reg::COUNT],
     stats: BackendStats,
+    /// Seqs of `Waiting` slots, ascending. Dispatch appends (program
+    /// order); issue removes. Keeping this index means a cycle touches
+    /// only the slots that can change state instead of scanning the
+    /// whole (mostly `Done`) ROB twice.
+    waiting: Vec<SeqNum>,
+    /// Seqs of `Executing` slots, ascending (sorted on insert, since
+    /// out-of-order issue can start a younger seq before an older one).
+    executing: Vec<SeqNum>,
 }
 
 impl Backend {
@@ -121,8 +129,10 @@ impl Backend {
         Backend {
             rob: VecDeque::with_capacity(config.rob_size),
             reg_ready: [0; Reg::COUNT],
-            config,
             stats: BackendStats::default(),
+            waiting: Vec::with_capacity(config.rob_size),
+            executing: Vec::with_capacity(config.rob_size),
+            config,
         }
     }
 
@@ -156,6 +166,11 @@ impl Backend {
             self.rob.len() < self.config.rob_size,
             "dispatch into a full rob"
         );
+        debug_assert!(
+            self.waiting.last().is_none_or(|&s| s < decoded.seq),
+            "dispatch out of program order"
+        );
+        self.waiting.push(decoded.seq);
         self.rob.push_back(RobSlot {
             seq: decoded.seq,
             instr,
@@ -165,24 +180,48 @@ impl Backend {
         });
     }
 
-    /// Runs one backend cycle: issue ready instructions, complete finished
-    /// ones (collecting branch resolutions), retire in order.
-    pub fn cycle(&mut self, now: Cycle, mem: &mut MemoryHierarchy) -> Vec<ResolvedBranch> {
-        let mut resolutions = Vec::new();
+    /// ROB index of the slot holding `seq`.
+    ///
+    /// The front-end dispatches in program order and the ROB retires in
+    /// order, so resident seqs are contiguous and the offset from the
+    /// head seq is the index.
+    #[inline]
+    fn slot_index(&self, seq: SeqNum) -> usize {
+        let front = self.rob.front().expect("indexed into an empty rob").seq;
+        let idx = (seq - front) as usize;
+        debug_assert_eq!(self.rob[idx].seq, seq, "rob seqs are not contiguous");
+        idx
+    }
 
-        // Issue.
+    /// Runs one backend cycle: issue ready instructions, complete finished
+    /// ones (collecting branch resolutions into `resolutions`, which is
+    /// cleared first — pass a reused buffer, not a fresh one, so the
+    /// steady-state loop does not allocate per cycle), retire in order.
+    pub fn cycle(
+        &mut self,
+        now: Cycle,
+        mem: &mut MemoryHierarchy,
+        resolutions: &mut Vec<ResolvedBranch>,
+    ) {
+        resolutions.clear();
+
+        // Issue: visit only `Waiting` slots, in program order (the same
+        // order the old full-ROB scan produced, so register-ready updates
+        // interleave identically). Unissued seqs are compacted in place.
+        let had_waiting = !self.waiting.is_empty();
         let mut issued = 0;
-        let mut any_waiting = false;
-        for i in 0..self.rob.len() {
+        let mut kept = 0;
+        for k in 0..self.waiting.len() {
+            let seq = self.waiting[k];
             if issued >= self.config.issue_width {
-                break;
+                self.waiting[kept] = seq;
+                kept += 1;
+                continue;
             }
+            let idx = self.slot_index(seq);
             let ready_check = {
-                let slot = &self.rob[i];
-                if slot.state != SlotState::Waiting {
-                    continue;
-                }
-                any_waiting = true;
+                let slot = &self.rob[idx];
+                debug_assert_eq!(slot.state, SlotState::Waiting);
                 now >= slot.dispatched_at + self.config.dispatch_latency
                     && slot
                         .instr
@@ -192,10 +231,12 @@ impl Backend {
                         .all(|r| self.reg_ready[r.index()] <= now)
             };
             if !ready_check {
+                self.waiting[kept] = seq;
+                kept += 1;
                 continue;
             }
             let done = {
-                let slot = &self.rob[i];
+                let slot = &self.rob[idx];
                 match slot.instr.kind {
                     InstrKind::Load { addr } => {
                         self.stats.loads.incr();
@@ -210,33 +251,47 @@ impl Backend {
                     _ => now + self.config.alu_latency,
                 }
             };
-            let slot = &mut self.rob[i];
+            let slot = &mut self.rob[idx];
             slot.state = SlotState::Executing { done };
             if let Some(dst) = slot.instr.dst {
                 self.reg_ready[dst.index()] = done;
             }
+            let pos = self.executing.partition_point(|&s| s < seq);
+            self.executing.insert(pos, seq);
             issued += 1;
         }
-        if issued == 0 && any_waiting {
+        self.waiting.truncate(kept);
+        if issued == 0 && had_waiting {
             self.stats.issue_idle_cycles.incr();
         }
 
-        // Complete.
-        for slot in self.rob.iter_mut() {
-            if let SlotState::Executing { done } = slot.state {
-                if done <= now {
-                    slot.state = SlotState::Done;
-                    if slot.instr.is_branch() && !slot.resolution_sent {
-                        slot.resolution_sent = true;
-                        self.stats.branches_resolved.incr();
-                        resolutions.push(ResolvedBranch {
-                            seq: slot.seq,
-                            at: done.max(now),
-                        });
-                    }
-                }
+        // Complete: visit only `Executing` slots, still in program order,
+        // so branch resolutions are reported in the same order as the old
+        // whole-ROB sweep.
+        let mut kept = 0;
+        for k in 0..self.executing.len() {
+            let seq = self.executing[k];
+            let idx = self.slot_index(seq);
+            let slot = &mut self.rob[idx];
+            let SlotState::Executing { done } = slot.state else {
+                unreachable!("executing index out of sync with rob state");
+            };
+            if done > now {
+                self.executing[kept] = seq;
+                kept += 1;
+                continue;
+            }
+            slot.state = SlotState::Done;
+            if slot.instr.is_branch() && !slot.resolution_sent {
+                slot.resolution_sent = true;
+                self.stats.branches_resolved.incr();
+                resolutions.push(ResolvedBranch {
+                    seq,
+                    at: done.max(now),
+                });
             }
         }
+        self.executing.truncate(kept);
 
         // Retire in order.
         let mut retired = 0;
@@ -254,7 +309,6 @@ impl Backend {
         if self.free_slots() == 0 {
             self.stats.rob_full_cycles.incr();
         }
-        resolutions
     }
 }
 
@@ -282,8 +336,10 @@ mod tests {
     ) -> (Cycle, Vec<ResolvedBranch>) {
         let mut now = start;
         let mut all = Vec::new();
+        let mut resolved = Vec::new();
         while !be.is_empty() {
-            all.extend(be.cycle(now, mem));
+            be.cycle(now, mem, &mut resolved);
+            all.extend_from_slice(&resolved);
             now += 1;
             assert!(now < start + 100_000, "backend did not drain");
         }

@@ -41,7 +41,7 @@ pub use simulator::{PrefetchHints, PreloadMetadata, Simulator};
 pub use swip_cache::ConfigError;
 // Re-exported so `SimConfig::timeline` is configurable (and the resulting
 // `SimReport::timeline` consumable) without a direct swip-frontend dep.
-pub use swip_frontend::{TimelineConfig, TimelineSample};
+pub use swip_frontend::{HintTable, TimelineConfig, TimelineSample};
 
 // The bench crate's parallel experiment engine shares `Simulator`s and
 // `SimConfig`s across worker threads; keep them (and everything a job

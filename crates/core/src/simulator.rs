@@ -1,9 +1,10 @@
 //! The top-level simulation loop.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use swip_cache::MemoryHierarchy;
-use swip_frontend::{Frontend, PreloadConfig};
+use swip_frontend::{Frontend, HintTable, PreloadConfig};
 use swip_trace::Trace;
 use swip_types::{Addr, InstrKind};
 
@@ -46,38 +47,70 @@ impl Simulator {
 
     /// Simulates `trace` to completion (or to the cycle watchdog).
     pub fn run(&self, trace: &Trace) -> SimReport {
-        self.run_with_hints(trace, &PrefetchHints::new())
+        self.run_inner(trace, None, None)
     }
 
     /// Simulates `trace` with no-overhead software-prefetch hints installed.
+    ///
+    /// Convenience wrapper that builds a private [`HintTable`] from the
+    /// map; sweeps that re-run the same hints should build the table once
+    /// and use [`Simulator::run_with_hint_table`] instead.
     pub fn run_with_hints(&self, trace: &Trace, hints: &PrefetchHints) -> SimReport {
-        self.run_inner(trace, hints, None)
+        if hints.is_empty() {
+            return self.run_inner(trace, None, None);
+        }
+        let table = Arc::new(HintTable::from_pc_map(hints));
+        self.run_inner(trace, Some(table), None)
+    }
+
+    /// Simulates `trace` with a shared no-overhead hint table (built once
+    /// per workload via [`HintTable::from_pc_map`]). The table is shared by
+    /// `Arc` — nothing is copied per run.
+    pub fn run_with_hint_table(&self, trace: &Trace, hints: Arc<HintTable>) -> SimReport {
+        self.run_inner(trace, Some(hints), None)
     }
 
     /// Simulates `trace` with the §VI metadata-preloading extension: the
     /// prefetch metadata lives in an LLC-side table consulted on L1-I
     /// accesses, instead of in the instruction stream.
+    ///
+    /// Convenience wrapper that builds a private [`HintTable`] from the
+    /// map; sweeps that re-run the same metadata should build the table
+    /// once and use [`Simulator::run_with_preload_table`] instead.
     pub fn run_with_preload(
         &self,
         trace: &Trace,
         metadata: &PreloadMetadata,
         preload: PreloadConfig,
     ) -> SimReport {
-        self.run_inner(trace, &PrefetchHints::new(), Some((metadata, preload)))
+        let table = Arc::new(HintTable::from_line_map(metadata));
+        self.run_inner(trace, None, Some((table, preload)))
+    }
+
+    /// Simulates `trace` with a shared preload-metadata table (built once
+    /// per workload via [`HintTable::from_line_map`]). The table is shared
+    /// by `Arc` — nothing is copied per run.
+    pub fn run_with_preload_table(
+        &self,
+        trace: &Trace,
+        metadata: Arc<HintTable>,
+        preload: PreloadConfig,
+    ) -> SimReport {
+        self.run_inner(trace, None, Some((metadata, preload)))
     }
 
     fn run_inner(
         &self,
         trace: &Trace,
-        hints: &PrefetchHints,
-        preload: Option<(&PreloadMetadata, PreloadConfig)>,
+        hints: Option<Arc<HintTable>>,
+        preload: Option<(Arc<HintTable>, PreloadConfig)>,
     ) -> SimReport {
         let mut frontend = Frontend::new(self.config.frontend.clone());
-        if !hints.is_empty() {
-            frontend.set_prefetch_hints(hints.clone());
+        if let Some(table) = hints {
+            frontend.set_hint_table(table);
         }
-        if let Some((metadata, cfg)) = preload {
-            frontend.set_preload_metadata(metadata.clone(), cfg);
+        if let Some((table, cfg)) = preload {
+            frontend.set_preload_table(table, cfg);
         }
         if let Some(timeline) = self.config.timeline {
             frontend.enable_timeline(timeline);
@@ -86,13 +119,16 @@ impl Simulator {
         if self.config.collect_line_profile {
             mem.enable_line_profile();
         }
-        let mut backend = Backend::new(self.config.backend.clone());
+        let mut backend = Backend::new(self.config.backend);
 
         let watchdog = (trace.len() as u64)
             .saturating_mul(self.config.max_cycles_per_instr)
             .max(100_000);
         let mut now = 0u64;
         let mut decoded = Vec::with_capacity(self.config.frontend.decode_width);
+        // Reused across cycles: the backend clears and refills it, so the
+        // steady-state loop performs no per-cycle allocation.
+        let mut resolved = Vec::new();
         let mut completed = true;
 
         while !(frontend.is_done(trace) && backend.is_empty()) {
@@ -101,9 +137,10 @@ impl Simulator {
             for d in &decoded {
                 backend.dispatch(*d, trace.instructions()[d.seq as usize], now);
             }
-            for resolved in backend.cycle(now, &mut mem) {
-                let instr = &trace.instructions()[resolved.seq as usize];
-                frontend.handle_resolution(resolved.seq, instr, resolved.at);
+            backend.cycle(now, &mut mem, &mut resolved);
+            for r in &resolved {
+                let instr = &trace.instructions()[r.seq as usize];
+                frontend.handle_resolution(r.seq, instr, r.at);
             }
             now += 1;
             if now >= watchdog {
@@ -150,8 +187,10 @@ impl Simulator {
             ipc: instructions as f64 / cycles as f64,
             effective_ipc: useful as f64 / cycles as f64,
             l1i_mpki: l1i.demand_mpki(useful),
-            frontend: frontend.stats().clone(),
             branch: *frontend.branch_unit().stats(),
+            // Moved out, not cloned: the frontend is dropped right after
+            // report assembly.
+            frontend: frontend.take_stats(),
             l1i,
             l2: *mem.l2_stats(),
             llc: *mem.llc_stats(),

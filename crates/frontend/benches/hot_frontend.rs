@@ -1,0 +1,84 @@
+//! Microbenchmarks for the front-end's hot kernel: the per-cycle FTQ
+//! fill/fetch/decode loop, with and without a shared prefetch-hint
+//! table, over a branchy synthetic kernel.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use swip_cache::{HierarchyConfig, MemoryHierarchy};
+use swip_frontend::{Frontend, FrontendConfig, HintTable};
+use swip_trace::{Trace, TraceBuilder};
+use swip_types::Addr;
+
+/// A small loopy kernel: straight-line bodies joined by taken branches,
+/// looping over a footprint a few times the L1-I capacity.
+fn branchy_trace(instrs: usize) -> Trace {
+    let mut b = TraceBuilder::new("hot_frontend");
+    let blocks = 64u64;
+    let mut block = 0u64;
+    while b.len() < instrs {
+        for _ in 0..7 {
+            b.alu();
+        }
+        block = (block + 1) % blocks;
+        // Spread blocks a cache-line-rich 4 KiB apart so fetch exercises
+        // the hierarchy, not just the same resident lines.
+        b.jump(Addr::new(0x10_0000 + block * 0x1000));
+    }
+    b.finish()
+}
+
+fn drain(trace: &Trace, hints: Option<Arc<HintTable>>) -> u64 {
+    let mut fe = Frontend::new(FrontendConfig::industry_standard());
+    if let Some(t) = hints {
+        fe.set_hint_table(t);
+    }
+    let mut mem = MemoryHierarchy::new(HierarchyConfig::sunny_cove_like());
+    let mut out = Vec::new();
+    let mut now = 0u64;
+    while !fe.is_done(trace) && now < 10_000_000 {
+        out.clear();
+        fe.cycle(now, trace, &mut mem, usize::MAX, &mut out);
+        for d in &out {
+            let i = &trace.instructions()[d.seq as usize];
+            if i.is_branch() {
+                fe.handle_resolution(d.seq, i, now + 1);
+            }
+        }
+        now += 1;
+    }
+    now
+}
+
+fn bench_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend_hot");
+    g.sample_size(20);
+    let trace = branchy_trace(10_000);
+    g.bench_function("drain_10k_no_hints", |b| {
+        b.iter_batched(|| (), |()| drain(&trace, None), BatchSize::SmallInput);
+    });
+
+    // Hint every basic-block head at the next block — forces the shared
+    // table's lookup on the form-block path every entry.
+    let mut map: HashMap<Addr, Vec<Addr>> = HashMap::new();
+    for i in trace.instructions() {
+        if i.is_branch() {
+            map.entry(i.pc)
+                .or_default()
+                .push(Addr::new(i.pc.raw() + 0x1000));
+        }
+    }
+    let table = Arc::new(HintTable::from_pc_map(&map));
+    g.bench_function("drain_10k_hinted", |b| {
+        b.iter_batched(
+            || table.clone(),
+            |t| drain(&trace, Some(t)),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cycle);
+criterion_main!(benches);

@@ -2,6 +2,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 use swip_branch::BranchUnit;
 use swip_cache::MemoryHierarchy;
@@ -9,6 +10,7 @@ use swip_trace::Trace;
 use swip_types::{Addr, Cycle, InstrKind, Instruction, SeqNum};
 
 use crate::entry::{FtqEntry, LineState};
+use crate::hints::HintTable;
 use crate::stats::{FtqStats, Scenario};
 use crate::timeline::{ScenarioTimeline, TimelineConfig};
 use crate::{FrontendConfig, PreloadConfig};
@@ -102,10 +104,16 @@ pub struct Frontend {
     /// Lines tracked by current FTQ entries: line → (completion, refcount).
     /// New requests to a tracked line alias instead of accessing the L1-I.
     tracked_lines: HashMap<u64, (Cycle, u32)>,
+    /// Count of [`LineState::Pending`] lines across the whole FTQ, so the
+    /// per-cycle fetch-issue pass can skip its entry/line scan when nothing
+    /// is waiting to issue (the common steady state).
+    pending_lines: usize,
     /// Branches the front-end mispredicted, pending resolution.
     mispredicted: HashSet<SeqNum>,
-    /// No-overhead software prefetch hints: trigger PC → targets.
-    hints: HashMap<u64, Vec<Addr>>,
+    /// No-overhead software prefetch hints: trigger PC → targets. Shared
+    /// (not cloned) across the runs of a sweep; `None` when no hints are
+    /// installed so non-hinted configurations skip the per-instruction hash.
+    hints: Option<Arc<HintTable>>,
     /// Metadata preloading (§VI extension): the LLC-side table, the small
     /// L1-side cache (insertion-ordered for FIFO replacement), and metadata
     /// requests in flight.
@@ -119,12 +127,15 @@ pub struct Frontend {
 struct PreloadState {
     config: PreloadConfig,
     /// The LLC-side table, preloaded at program start: trigger line number →
-    /// prefetch targets.
-    llc_table: HashMap<u64, Vec<Addr>>,
+    /// prefetch targets. Shared (not cloned) across the runs of a sweep.
+    llc_table: Arc<HintTable>,
     /// The L1-side metadata cache (FIFO over trigger line numbers).
     l1_cache: VecDeque<u64>,
     /// Triggers with an outstanding metadata request: line → ready cycle.
     pending: HashMap<u64, Cycle>,
+    /// Reused per-cycle scratch for the drained trigger lines (avoids a
+    /// fresh `Vec` allocation on every `preload_drain` call).
+    ready: Vec<u64>,
 }
 
 impl fmt::Debug for Frontend {
@@ -151,8 +162,9 @@ impl Frontend {
             cursor: 0,
             blocked: None,
             tracked_lines: HashMap::new(),
+            pending_lines: 0,
             mispredicted: HashSet::new(),
-            hints: HashMap::new(),
+            hints: None,
             preload: None,
             timeline: None,
             stats: FtqStats::default(),
@@ -180,8 +192,19 @@ impl Frontend {
     /// a trigger PC is inserted into the FTQ, the given target lines are
     /// prefetched without any instruction overhead (the paper's
     /// "AsmDB — No Insertion Overhead" configuration).
+    ///
+    /// Convenience wrapper over [`Frontend::set_hint_table`] that builds a
+    /// private table; sweeps should build one [`HintTable`] per workload
+    /// and share it.
     pub fn set_prefetch_hints(&mut self, hints: HashMap<Addr, Vec<Addr>>) {
-        self.hints = hints.into_iter().map(|(k, v)| (k.raw(), v)).collect();
+        self.set_hint_table(Arc::new(HintTable::from_pc_map(&hints)));
+    }
+
+    /// Installs a shared no-overhead software-prefetch hint table (keyed by
+    /// trigger PC, as built by [`HintTable::from_pc_map`]). The `Arc` is
+    /// stored as-is — no per-run copy is made.
+    pub fn set_hint_table(&mut self, table: Arc<HintTable>) {
+        self.hints = Some(table);
     }
 
     /// Enables the §VI metadata-preloading extension: `metadata` (trigger
@@ -189,16 +212,29 @@ impl Frontend {
     /// each L1-I line request consults a small L1-side metadata cache and,
     /// on a miss there, fetches the entry from the LLC table after the
     /// configured latency before firing its prefetches.
+    ///
+    /// Convenience wrapper over [`Frontend::set_preload_table`] that builds
+    /// a private table; sweeps should build one [`HintTable`] per workload
+    /// and share it.
     pub fn set_preload_metadata(
         &mut self,
         metadata: HashMap<u64, Vec<Addr>>,
         config: PreloadConfig,
     ) {
+        self.set_preload_table(Arc::new(HintTable::from_line_map(&metadata)), config);
+    }
+
+    /// Enables the §VI metadata-preloading extension with a shared LLC-side
+    /// table (keyed by trigger line number, as built by
+    /// [`HintTable::from_line_map`]). The `Arc` is stored as-is — no
+    /// per-run copy is made.
+    pub fn set_preload_table(&mut self, table: Arc<HintTable>, config: PreloadConfig) {
         self.preload = Some(PreloadState {
             config,
-            llc_table: metadata,
+            llc_table: table,
             l1_cache: VecDeque::new(),
             pending: HashMap::new(),
+            ready: Vec::new(),
         });
     }
 
@@ -210,6 +246,14 @@ impl Frontend {
     /// Front-end statistics.
     pub fn stats(&self) -> &FtqStats {
         &self.stats
+    }
+
+    /// Detaches the front-end statistics, leaving zeroed counters behind.
+    ///
+    /// Report assembly runs once, after the simulation loop; moving the
+    /// stats out avoids cloning the whole block per run.
+    pub fn take_stats(&mut self) -> FtqStats {
+        std::mem::take(&mut self.stats)
     }
 
     /// Branch-prediction statistics and structures.
@@ -348,6 +392,8 @@ impl Frontend {
             debug_assert!(!entry.is_empty());
             self.stats.blocks_enqueued.incr();
             self.stats.instrs_enqueued.add(entry.count as u64);
+            // Every line of a freshly formed block is Pending.
+            self.pending_lines += entry.lines.len();
             let becomes_stalling_head = self.ftq.is_empty();
             self.ftq.entries.push_back(entry);
             if becomes_stalling_head {
@@ -373,11 +419,14 @@ impl Frontend {
             let seq = self.cursor;
             let instr = &instrs[seq as usize];
 
-            // No-overhead software prefetch hints fire at FTQ insert.
-            if let Some(targets) = self.hints.get(&instr.pc.raw()) {
-                for t in targets.clone() {
-                    mem.prefetch_instr(t.line(), now);
-                    self.stats.swpf_hinted.incr();
+            // No-overhead software prefetch hints fire at FTQ insert. The
+            // table lookup borrows the shared targets slice — no clone.
+            if let Some(table) = &self.hints {
+                if let Some(targets) = table.get(instr.pc.raw()) {
+                    for t in targets {
+                        mem.prefetch_instr(t.line(), now);
+                        self.stats.swpf_hinted.incr();
+                    }
                 }
             }
 
@@ -470,6 +519,9 @@ impl Frontend {
     /// Issues pending line fetches, bounded by fetch bandwidth, merging with
     /// lines already tracked by the FTQ.
     fn issue_fetches(&mut self, now: Cycle, mem: &mut MemoryHierarchy) {
+        if self.pending_lines == 0 {
+            return; // nothing Pending anywhere in the FTQ
+        }
         let mut budget = self.config.fetch_lines_per_cycle;
         for entry in self.ftq.entries.iter_mut() {
             if budget == 0 {
@@ -487,6 +539,7 @@ impl Frontend {
                         done: *done,
                         aliased: true,
                     };
+                    self.pending_lines -= 1;
                     *refs += 1;
                     self.stats.aliased_line_requests.incr();
                     continue; // aliasing consumes no cache port
@@ -503,6 +556,7 @@ impl Frontend {
                     done: result.complete_at,
                     aliased: false,
                 };
+                self.pending_lines -= 1;
                 self.tracked_lines
                     .insert(line.number(), (result.complete_at, 1));
                 self.stats.line_requests.incr();
@@ -517,26 +571,32 @@ impl Frontend {
         let Some(preload) = self.preload.as_mut() else {
             return;
         };
-        let ready: Vec<u64> = preload
-            .pending
-            .iter()
-            .filter(|&(_, &at)| at <= now)
-            .map(|(&l, _)| l)
-            .collect();
-        for line in ready {
+        // Reuse the state's scratch buffer for the drained lines; the
+        // shared table lookup borrows its targets slice — no clones.
+        let mut ready = std::mem::take(&mut preload.ready);
+        ready.clear();
+        ready.extend(
+            preload
+                .pending
+                .iter()
+                .filter(|&(_, &at)| at <= now)
+                .map(|(&l, _)| l),
+        );
+        for &line in &ready {
             preload.pending.remove(&line);
             if preload.l1_cache.len() >= preload.config.l1_entries {
                 preload.l1_cache.pop_front();
             }
             preload.l1_cache.push_back(line);
-            if let Some(targets) = preload.llc_table.get(&line) {
-                for t in targets.clone() {
+            if let Some(targets) = preload.llc_table.get(line) {
+                for t in targets {
                     if mem.prefetch_instr(t.line(), now).is_some() {
                         self.stats.swpf_preloaded.incr();
                     }
                 }
             }
         }
+        preload.ready = ready;
     }
 
     /// Classifies the FTQ state for this cycle and maintains the Fig-9/10
@@ -592,7 +652,8 @@ impl Frontend {
             head.stalled_at_head = true;
         }
         for e in iter {
-            if e.is_fetch_complete(now) {
+            debug_assert_eq!(e.predecoded, e.is_fetch_complete(now));
+            if e.predecoded {
                 // Cycle-sum semantics (Fig 10): every cycle an entry spends
                 // fetch-complete behind a stalling head counts.
                 e.counted_waiting = true;
@@ -603,14 +664,23 @@ impl Frontend {
 
     /// The FTQ state this cycle, per the paper's taxonomy (operationally:
     /// head-complete ⇒ Scenario 1, since decode is not blocked).
+    ///
+    /// Must be called after pre-decode has run for `now` (`cycle`
+    /// guarantees this): the `predecoded` flag then stands in for
+    /// the per-line completion scan, turning classification from
+    /// O(entries × lines) into O(entries).
     pub fn scenario(&self, now: Cycle) -> Scenario {
         let Some(head) = self.ftq.head() else {
             return Scenario::Empty;
         };
-        if head.is_fetch_complete(now) {
+        debug_assert_eq!(head.predecoded, head.is_fetch_complete(now));
+        if head.predecoded {
             return Scenario::ShootThrough;
         }
-        let any_incomplete_behind = self.ftq.iter().skip(1).any(|e| !e.is_fetch_complete(now));
+        let any_incomplete_behind = self.ftq.iter().skip(1).any(|e| {
+            debug_assert_eq!(e.predecoded, e.is_fetch_complete(now));
+            !e.predecoded
+        });
         if any_incomplete_behind {
             Scenario::ShadowStall
         } else {
@@ -626,7 +696,10 @@ impl Frontend {
             let Some(head) = self.ftq.entries.front_mut() else {
                 break;
             };
-            if !head.is_fetch_complete(now) || !head.predecoded {
+            // `predecoded` implies fetch-complete: pre-decode only marks an
+            // entry once every line has landed, and completion is monotone.
+            debug_assert!(!head.predecoded || head.is_fetch_complete(now));
+            if !head.predecoded {
                 break;
             }
             let take = head.remaining().min(budget);
@@ -675,7 +748,8 @@ impl Frontend {
             }
         }
         if let Some(new_head) = self.ftq.entries.front_mut() {
-            if !new_head.is_fetch_complete(now) {
+            debug_assert_eq!(new_head.predecoded, new_head.is_fetch_complete(now));
+            if !new_head.predecoded {
                 self.stats.partially_covered_entries.incr();
                 new_head.stalled_at_head = true;
             }
@@ -707,13 +781,13 @@ fn preload_check(
         return;
     };
     let key = line.number();
-    if !p.llc_table.contains_key(&key) {
+    if !p.llc_table.contains(key) {
         return;
     }
     if p.l1_cache.contains(&key) {
         stats.preload_l1_hits.incr();
-        if let Some(targets) = p.llc_table.get(&key) {
-            for t in targets.clone() {
+        if let Some(targets) = p.llc_table.get(key) {
+            for t in targets {
                 if mem.prefetch_instr(t.line(), now).is_some() {
                     stats.swpf_preloaded.incr();
                 }

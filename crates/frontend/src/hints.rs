@@ -1,0 +1,129 @@
+//! Shared, immutable software-prefetch hint tables.
+//!
+//! A sweep runs the same workload through many configurations; the hint
+//! table (trigger → prefetch targets) is identical for every run of a
+//! workload, so it is built **once** and shared by `Arc` instead of being
+//! cloned into each simulation. The targets of all triggers live in one
+//! contiguous array and lookups return borrowed slices, so the per-fire
+//! hot path neither allocates nor copies.
+
+use std::collections::HashMap;
+
+use swip_types::Addr;
+
+/// An immutable trigger → prefetch-target table.
+///
+/// Keys are raw u64s: trigger *PCs* for the no-overhead hint path, trigger
+/// cache-*line numbers* for the §VI metadata-preloading extension — the
+/// constructors [`HintTable::from_pc_map`] and [`HintTable::from_line_map`]
+/// fix the interpretation.
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::HashMap;
+/// use swip_types::Addr;
+/// use swip_frontend::HintTable;
+///
+/// let mut hints = HashMap::new();
+/// hints.insert(Addr::new(0x40), vec![Addr::new(0x1000), Addr::new(0x2000)]);
+/// let table = HintTable::from_pc_map(&hints);
+/// assert_eq!(table.get(0x40), Some(&[Addr::new(0x1000), Addr::new(0x2000)][..]));
+/// assert_eq!(table.get(0x44), None);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct HintTable {
+    /// Trigger key → `(start, end)` range into `targets`.
+    index: HashMap<u64, (usize, usize)>,
+    /// All triggers' targets, contiguously.
+    targets: Vec<Addr>,
+}
+
+impl HintTable {
+    /// Builds a table keyed by trigger PC (the no-overhead hint path).
+    pub fn from_pc_map(hints: &HashMap<Addr, Vec<Addr>>) -> Self {
+        Self::build(hints.iter().map(|(pc, ts)| (pc.raw(), ts.as_slice())))
+    }
+
+    /// Builds a table keyed by trigger cache-line number (the §VI
+    /// metadata-preloading extension).
+    pub fn from_line_map(metadata: &HashMap<u64, Vec<Addr>>) -> Self {
+        Self::build(metadata.iter().map(|(&l, ts)| (l, ts.as_slice())))
+    }
+
+    fn build<'a>(entries: impl Iterator<Item = (u64, &'a [Addr])>) -> Self {
+        let mut index = HashMap::new();
+        let mut targets = Vec::new();
+        for (key, ts) in entries {
+            let start = targets.len();
+            targets.extend_from_slice(ts);
+            index.insert(key, (start, targets.len()));
+        }
+        HintTable { index, targets }
+    }
+
+    /// The targets registered for trigger `key`, if any.
+    pub fn get(&self, key: u64) -> Option<&[Addr]> {
+        self.index
+            .get(&key)
+            .map(|&(start, end)| &self.targets[start..end])
+    }
+
+    /// Whether `key` is a trigger (no target slice is materialized).
+    pub fn contains(&self, key: u64) -> bool {
+        self.index.contains_key(&key)
+    }
+
+    /// Number of triggers.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when no triggers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_map_round_trips() {
+        let mut hints = HashMap::new();
+        hints.insert(Addr::new(0x8), vec![Addr::new(0x100)]);
+        hints.insert(Addr::new(0x10), vec![Addr::new(0x200), Addr::new(0x300)]);
+        let t = HintTable::from_pc_map(&hints);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(0x8), Some(&[Addr::new(0x100)][..]));
+        assert_eq!(t.get(0x10), Some(&[Addr::new(0x200), Addr::new(0x300)][..]));
+        assert_eq!(t.get(0x18), None);
+        assert!(t.contains(0x8) && !t.contains(0x18));
+    }
+
+    #[test]
+    fn line_map_keys_are_taken_verbatim() {
+        let mut meta = HashMap::new();
+        meta.insert(7u64, vec![Addr::new(0x40)]);
+        let t = HintTable::from_line_map(&meta);
+        assert_eq!(t.get(7), Some(&[Addr::new(0x40)][..]));
+    }
+
+    #[test]
+    fn empty_tables_answer_cheaply() {
+        let t = HintTable::default();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.get(0), None);
+    }
+
+    #[test]
+    fn empty_target_lists_survive() {
+        let mut hints = HashMap::new();
+        hints.insert(Addr::new(0x8), Vec::new());
+        let t = HintTable::from_pc_map(&hints);
+        assert_eq!(t.get(0x8), Some(&[][..]));
+        assert!(!t.is_empty());
+    }
+}

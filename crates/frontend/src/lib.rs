@@ -52,11 +52,13 @@
 mod config;
 mod entry;
 mod frontend;
+mod hints;
 mod stats;
 mod timeline;
 
 pub use config::{FrontendConfig, PreloadConfig};
 pub use entry::{FtqEntry, LineState};
 pub use frontend::{DecodedInstr, Frontend, Ftq};
+pub use hints::HintTable;
 pub use stats::{FtqStats, Scenario};
 pub use timeline::{ScenarioTimeline, TimelineConfig, TimelineSample};

@@ -102,7 +102,10 @@ fn branch_kind_from_tag(tag: u8) -> Result<BranchKind, DecodeError> {
     })
 }
 
-pub(crate) fn encode<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+pub(crate) fn encode<W: Write>(trace: &Trace, w: W) -> io::Result<()> {
+    // Records are a handful of bytes each; buffer here so callers can pass
+    // a bare `File` without paying one syscall per field.
+    let mut w = io::BufWriter::with_capacity(1 << 16, w);
     w.write_all(&MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
     let name = trace.name().as_bytes();
@@ -112,6 +115,7 @@ pub(crate) fn encode<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
     for instr in trace.iter() {
         encode_instr(instr, &mut w)?;
     }
+    w.flush()?;
     Ok(())
 }
 
@@ -156,7 +160,10 @@ fn encode_instr<W: Write>(i: &Instruction, w: &mut W) -> io::Result<()> {
     Ok(())
 }
 
-pub(crate) fn decode<R: Read>(mut r: R) -> Result<Trace, DecodeError> {
+pub(crate) fn decode<R: Read>(r: R) -> Result<Trace, DecodeError> {
+    // Same story as `encode`: per-field `read_exact` on an unbuffered
+    // `File` costs one syscall per few bytes, which dominates decode.
+    let mut r = io::BufReader::with_capacity(1 << 16, r);
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if magic != MAGIC {

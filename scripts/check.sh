@@ -52,6 +52,31 @@ if [ "$code" -ne 2 ]; then
 fi
 echo "report --diff follows the diff(1) exit convention"
 
+echo "==> determinism: re-run one figure and byte-compare its TSV"
+cp target/experiments/fig1.tsv target/fig1.first.tsv
+cargo run -p swip-cli --release --quiet -- bench --figure fig1 \
+    --instructions 20000 --stride 16 >/dev/null
+if ! cmp -s target/fig1.first.tsv target/experiments/fig1.tsv; then
+    echo "FAIL: fig1.tsv changed between identical runs" >&2
+    exit 1
+fi
+rm -f target/fig1.first.tsv
+echo "figure output is byte-stable across runs"
+
+echo "==> smoke: swip bench --measure (throughput harness)"
+# Run from target/ so the smoke measurement does not clobber the tracked
+# BENCH_throughput.json at the repo root (that one is the full sweep).
+(cd target && cargo run -p swip-cli --release --quiet -- bench --measure \
+    --instructions 2000 --stride 24)
+if ! [ -s target/BENCH_throughput.json ]; then
+    echo "FAIL: target/BENCH_throughput.json missing or empty" >&2
+    exit 1
+fi
+# swip report parses the file with the swip-report JSON parser and exits
+# nonzero on malformed schema or zero instrs/sec.
+cargo run -p swip-cli --release --quiet -- report target/BENCH_throughput.json
+echo "throughput report present, well-formed, nonzero instrs/sec"
+
 echo "==> smoke: swip serve (ephemeral port, probe, graceful drain)"
 cargo build -q --release -p swip-cli -p swip-serve
 serve_log="target/serve-smoke.log"
