@@ -126,14 +126,18 @@ pub struct Report {
     /// What was analyzed (trace name or file path).
     pub subject: String,
     /// Analysis families that ran (`decode`, `trace`, `cfg`, `plan`,
-    /// `rewrite`). Families after a failing one are skipped.
+    /// `rewrite`, `coverage`). Families after a failing one are skipped.
     pub families: Vec<&'static str>,
     /// All findings, in pass order.
     pub diagnostics: Vec<Diagnostic>,
+    /// Predicted-coverage summary, present when the `coverage` family ran
+    /// (`analyze --coverage`).
+    pub coverage: Option<crate::coverage::PredictedCoverage>,
 }
 
 impl Report {
-    /// Builds a report.
+    /// Builds a report (without a coverage summary; set
+    /// [`Report::coverage`] after the coverage family runs).
     pub fn new(
         subject: impl Into<String>,
         families: Vec<&'static str>,
@@ -143,6 +147,7 @@ impl Report {
             subject: subject.into(),
             families,
             diagnostics,
+            coverage: None,
         }
     }
 
@@ -192,6 +197,18 @@ impl Report {
         out.push_str(&self.warnings().to_string());
         out.push_str(",\"infos\":");
         out.push_str(&self.infos().to_string());
+        if let Some(cov) = &self.coverage {
+            out.push_str(",\"coverage\":{");
+            for (i, (name, value)) in cov.counter_pairs().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json_string(&mut out, name);
+                out.push(':');
+                out.push_str(&value.to_string());
+            }
+            out.push('}');
+        }
         out.push_str(",\"diagnostics\":[");
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
@@ -218,6 +235,22 @@ impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for d in &self.diagnostics {
             writeln!(f, "{d}")?;
+        }
+        if let Some(cov) = &self.coverage {
+            writeln!(
+                f,
+                "predicted coverage: {}/{} sites useful ({} dead, {} redundant, {} late, \
+                 {} clobbering); {}/{} target lines covered ({:.0}%)",
+                cov.useful_sites,
+                cov.sites,
+                cov.dead_sites,
+                cov.redundant_sites,
+                cov.late_sites,
+                cov.clobbering_sites,
+                cov.covered_lines,
+                cov.targeted_lines,
+                cov.coverage_ratio() * 100.0,
+            )?;
         }
         write!(
             f,

@@ -6,13 +6,17 @@
 //! each downstream consumer assumes, *without running a simulation*, and
 //! reports violations as structured diagnostics with stable rule ids.
 //!
-//! Five analysis families (rule catalog in `DESIGN.md` §8):
+//! Six analysis families (rule catalog in `DESIGN.md` §8 and §14):
 //!
 //! * `decode` (`T001`–`T007`) — codec-level failures mapped to diagnostics.
 //! * `trace` (`T010`–`T016`) — semantic lints on a decoded trace.
 //! * `cfg` (`C001`–`C007`) — well-formedness of the reconstructed CFG.
 //! * `plan` (`P001`–`P006`) — insertion-plan claims re-proved on the CFG.
 //! * `rewrite` (`R001`–`R003`) — rewritten trace diffed against plan.
+//! * `coverage` (`D001`–`D004`) — static prediction of each insertion's
+//!   value (dead / redundant / late / clobbering), built on dominator
+//!   trees ([`DomTree`]) and natural loops ([`LoopForest`]); opt-in via
+//!   [`AnalyzeOptions::coverage`].
 //!
 //! [`analyze_trace`] chains all post-decode families: it reconstructs the
 //! CFG, builds a synthetic insertion plan (profiling the trace's line
@@ -24,8 +28,12 @@
 #![warn(missing_docs)]
 
 mod cfg_check;
+mod coverage;
 mod diag;
+mod dominators;
+mod loops;
 mod plan_check;
+mod predict;
 mod rewrite_check;
 mod trace_lint;
 
@@ -36,8 +44,14 @@ use swip_asmdb::{plan_insertions, rewrite_trace, select_targets, Cfg};
 use swip_trace::{DecodeError, Trace};
 
 pub use cfg_check::check_cfg;
+pub use coverage::{
+    evaluate_plan, CoverageConfig, InsertionClass, PlanEvaluation, PredictedCoverage,
+};
 pub use diag::{Diagnostic, Location, Report, Severity};
+pub use dominators::DomTree;
+pub use loops::{LoopForest, NaturalLoop};
 pub use plan_check::verify_plan;
+pub use predict::{DivergenceThreshold, PredictError, PredictRow, PredictionDiff};
 pub use rewrite_check::diff_rewrite;
 pub use trace_lint::lint_trace;
 
@@ -65,15 +79,31 @@ pub fn decode_diagnostic(err: &DecodeError) -> Diagnostic {
     )
 }
 
+/// Options for [`analyze_trace_with`] / [`analyze_read_with`].
+#[derive(Copy, Clone, Debug, Default)]
+pub struct AnalyzeOptions {
+    /// Run the `coverage` family (rules `D001`–`D004`) on the synthetic
+    /// plan and attach a [`PredictedCoverage`] summary to the report.
+    pub coverage: bool,
+    /// Cache/latency model for the coverage family.
+    pub coverage_config: CoverageConfig,
+}
+
 /// Runs every post-decode analysis family on an in-memory trace.
 ///
 /// The `cfg`, `plan`, and `rewrite` families are skipped when the `trace`
 /// family found errors (a discontinuous trace yields a meaningless CFG) or
 /// the trace is empty.
 pub fn analyze_trace(trace: &Trace) -> Report {
+    analyze_trace_with(trace, &AnalyzeOptions::default())
+}
+
+/// [`analyze_trace`] with explicit [`AnalyzeOptions`].
+pub fn analyze_trace_with(trace: &Trace, options: &AnalyzeOptions) -> Report {
     let mut families = vec!["trace"];
     let mut diags = lint_trace(trace);
     let clean = !diags.iter().any(|d| d.severity == Severity::Error);
+    let mut coverage = None;
 
     if clean && !trace.is_empty() {
         let cfg = Cfg::from_trace(trace);
@@ -103,18 +133,32 @@ pub fn analyze_trace(trace: &Trace) -> Report {
                 .into_iter()
                 .filter(|d| d.severity == Severity::Error),
         );
+
+        if options.coverage {
+            families.push("coverage");
+            let eval = evaluate_plan(&cfg, entry, &plan, &options.coverage_config);
+            diags.extend(eval.diagnostics);
+            coverage = Some(eval.coverage);
+        }
     }
 
-    Report::new(trace.name(), families, cap_per_rule(diags))
+    let mut report = Report::new(trace.name(), families, cap_per_rule(diags));
+    report.coverage = coverage;
+    report
 }
 
 /// Decodes a trace from `r` and analyzes it. `subject` (usually the file
 /// path) labels the report. Decode failures become a single-diagnostic
 /// report from the `decode` family.
 pub fn analyze_read<R: Read>(r: R, subject: &str) -> Report {
+    analyze_read_with(r, subject, &AnalyzeOptions::default())
+}
+
+/// [`analyze_read`] with explicit [`AnalyzeOptions`].
+pub fn analyze_read_with<R: Read>(r: R, subject: &str, options: &AnalyzeOptions) -> Report {
     match Trace::read_from(r) {
         Ok(trace) => {
-            let mut report = analyze_trace(&trace);
+            let mut report = analyze_trace_with(&trace, options);
             report.subject = subject.to_string();
             report.families.insert(0, "decode");
             report
@@ -183,6 +227,37 @@ mod tests {
         let report = analyze_trace(&trace);
         assert_eq!(report.errors(), 0, "{report}");
         assert_eq!(report.families, vec!["trace", "cfg", "plan", "rewrite"]);
+    }
+
+    #[test]
+    fn coverage_family_classifies_every_insertion() {
+        let spec = swip_workloads::cvp1_suite(3000).remove(1);
+        let trace = swip_workloads::generate(&spec);
+        let opts = AnalyzeOptions {
+            coverage: true,
+            ..Default::default()
+        };
+        let report = analyze_trace_with(&trace, &opts);
+        assert_eq!(report.families.last(), Some(&"coverage"));
+        let cov = report.coverage.clone().expect("coverage summary attached");
+        assert_eq!(
+            cov.sites,
+            cov.useful_sites
+                + cov.dead_sites
+                + cov.redundant_sites
+                + cov.late_sites
+                + cov.clobbering_sites,
+            "every insertion gets exactly one class"
+        );
+        assert_eq!(
+            cov.dead_sites, 0,
+            "plans built from an executed trace cannot contain dead insertions"
+        );
+        assert!(report.to_json().contains("\"coverage\""));
+        // Opting out leaves the report exactly as before.
+        let plain = analyze_trace(&trace);
+        assert!(plain.coverage.is_none());
+        assert!(!plain.families.contains(&"coverage"));
     }
 
     #[test]

@@ -12,13 +12,14 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 use swip_asmdb::{BlockId, Cfg, Plan};
 
 use crate::diag::{Diagnostic, Location, Severity};
+use crate::dominators::DomTree;
 
 /// Verifies `plan` against `cfg` (rules P001–P006). `entry` is the CFG's
 /// entry block (the block containing the first executed instruction), used
 /// for the dominator analysis; passing `None` skips P006.
 pub fn verify_plan(cfg: &Cfg, entry: Option<BlockId>, plan: &Plan) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
-    let idom = entry.map(|e| idoms(cfg, e));
+    let dom = entry.map(|e| DomTree::dominators(cfg, e));
 
     // Forward shortest distances are computed once per distinct target.
     let mut dist_cache: HashMap<u64, Option<Vec<Option<u64>>>> = HashMap::new();
@@ -130,7 +131,7 @@ pub fn verify_plan(cfg: &Cfg, entry: Option<BlockId>, plan: &Plan) -> Vec<Diagno
         // P006: if a block containing the target line dominates the anchor,
         // the line was already fetched on every path (it may have been
         // evicted since, hence a warning rather than an error).
-        if let Some(idom) = &idom {
+        if let Some(dom) = &dom {
             let mut cur = Some(anchor_block);
             while let Some(b) = cur {
                 let touches = cfg
@@ -151,7 +152,7 @@ pub fn verify_plan(cfg: &Cfg, entry: Option<BlockId>, plan: &Plan) -> Vec<Diagno
                     ));
                     break;
                 }
-                cur = idom[b].filter(|&d| d != b);
+                cur = dom.idom(b);
             }
         }
     }
@@ -164,8 +165,12 @@ pub fn verify_plan(cfg: &Cfg, entry: Option<BlockId>, plan: &Plan) -> Vec<Diagno
 ///
 /// Mirrors the planner's metric: entering block `B` at distance `d` means
 /// execution reaches the target `d` instructions later; predecessors sit a
-/// full block-length further out.
-fn target_entry_distances(cfg: &Cfg, target_pc: swip_types::Addr) -> Option<Vec<Option<u64>>> {
+/// full block-length further out. Shared with the coverage evaluator
+/// (family D), which uses the same notion of static distance.
+pub(crate) fn target_entry_distances(
+    cfg: &Cfg,
+    target_pc: swip_types::Addr,
+) -> Option<Vec<Option<u64>>> {
     let target_block = cfg.block_of(target_pc)?;
     let offset = cfg
         .block(target_block)
@@ -193,78 +198,6 @@ fn target_entry_distances(cfg: &Cfg, target_pc: swip_types::Addr) -> Option<Vec<
         }
     }
     Some(dist)
-}
-
-/// Immediate dominators over the subgraph reachable from `entry`
-/// (Cooper–Harvey–Kennedy). `idom[entry] == Some(entry)`; unreachable
-/// blocks get `None`.
-fn idoms(cfg: &Cfg, entry: BlockId) -> Vec<Option<BlockId>> {
-    // Reverse postorder over reachable blocks.
-    let n = cfg.len();
-    let mut order: Vec<BlockId> = Vec::with_capacity(n);
-    let mut state = vec![0u8; n]; // 0 = unseen, 1 = open, 2 = done
-    let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
-    state[entry] = 1;
-    while let Some(&mut (b, ref mut next)) = stack.last_mut() {
-        let succs = &cfg.block(b).succs;
-        let mut advanced = false;
-        while *next < succs.len() {
-            let (s, _) = succs[*next];
-            *next += 1;
-            if s < n && state[s] == 0 {
-                state[s] = 1;
-                stack.push((s, 0));
-                advanced = true;
-                break;
-            }
-        }
-        if !advanced && matches!(stack.last(), Some(&(bb, nn)) if bb == b && nn >= succs.len()) {
-            stack.pop();
-            state[b] = 2;
-            order.push(b);
-        }
-    }
-    order.reverse(); // now reverse postorder, entry first
-
-    let mut rpo_index = vec![usize::MAX; n];
-    for (i, &b) in order.iter().enumerate() {
-        rpo_index[b] = i;
-    }
-
-    let mut idom: Vec<Option<BlockId>> = vec![None; n];
-    idom[entry] = Some(entry);
-    let intersect = |idom: &[Option<BlockId>], rpo: &[usize], mut a: BlockId, mut b: BlockId| {
-        while a != b {
-            while rpo[a] > rpo[b] {
-                a = idom[a].expect("processed block has an idom");
-            }
-            while rpo[b] > rpo[a] {
-                b = idom[b].expect("processed block has an idom");
-            }
-        }
-        a
-    };
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for &b in order.iter().skip(1) {
-            let mut new_idom: Option<BlockId> = None;
-            for &(p, _) in &cfg.block(b).preds {
-                if p >= n || idom[p].is_none() {
-                    continue;
-                }
-                new_idom = Some(match new_idom {
-                    None => p,
-                    Some(cur) => intersect(&idom, &rpo_index, cur, p),
-                });
-            }
-            if new_idom.is_some() && idom[b] != new_idom {
-                idom[b] = new_idom;
-                changed = true;
-            }
-        }
-    }
-    idom
 }
 
 #[cfg(test)]

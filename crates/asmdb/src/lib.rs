@@ -57,5 +57,5 @@ mod select;
 pub use cfg::{BlockId, Cfg, CfgBlock};
 pub use pipeline::{Asmdb, AsmdbConfig, AsmdbOutput};
 pub use plan::{Insertion, Plan};
-pub use rewrite::{rewrite_trace, RewriteReport};
+pub use rewrite::{rewrite_trace, RewriteReport, ShiftMap};
 pub use select::{plan_insertions, select_targets, MissTarget};

@@ -44,7 +44,7 @@ pub struct RewriteReport {
 /// *After-anchor* slots were appended to the **preceding** block: a branch
 /// targeting `k` must land past them.
 #[derive(Clone, Debug, Default)]
-struct ShiftMap {
+pub struct ShiftMap {
     /// Sorted insertion keys with (after-anchor, before-anchor) slot counts.
     keys: Vec<(u64, u64, u64)>,
     /// Cumulative total slot counts (same indexing as `keys`).
@@ -52,6 +52,14 @@ struct ShiftMap {
 }
 
 impl ShiftMap {
+    /// The shift map `rewrite_trace` would apply for `plan` — usable to
+    /// reason about the rewritten address space (e.g. cache-set geometry)
+    /// without materializing the rewritten trace.
+    pub fn from_plan(plan: &Plan) -> Self {
+        let (_, slots) = plan_slots(plan);
+        ShiftMap::new(&slots)
+    }
+
     fn new(slots: &BTreeMap<u64, (u64, u64)>) -> Self {
         let keys: Vec<(u64, u64, u64)> = slots.iter().map(|(&k, &(a, b))| (k, a, b)).collect();
         let mut cumulative = Vec::with_capacity(keys.len());
@@ -88,7 +96,7 @@ impl ShiftMap {
 
     /// The rewritten address of the *instruction* originally at `addr`
     /// (shifts past every slot inserted at or before it).
-    fn remap_pc(&self, addr: Addr) -> Addr {
+    pub fn remap_pc(&self, addr: Addr) -> Addr {
         addr.add(WORD * self.slots_at_or_before(addr.raw()))
     }
 
@@ -96,7 +104,7 @@ impl ShiftMap {
     /// after-anchor slots at `addr` (they belong to the preceding block) but
     /// at the head of any before-anchor slots (they belong to the targeted
     /// block).
-    fn remap_target(&self, addr: Addr) -> Addr {
+    pub fn remap_target(&self, addr: Addr) -> Addr {
         let after = match self.find(addr.raw()) {
             Ok(i) => self.keys[i].1,
             Err(_) => 0,
@@ -118,15 +126,12 @@ impl ShiftMap {
     }
 }
 
-/// Applies `plan` to `trace`, producing the rewritten trace and its bloat
-/// report.
-///
-/// Every static address at or past an insertion point shifts by one word per
-/// inserted prefetch; branch targets (taken and fall-through) are remapped
-/// into the new address space; data addresses are untouched. The dynamic
-/// stream is identical to the input modulo the inserted `prefetch.i`
-/// instructions, which execute every time their anchor does.
-pub fn rewrite_trace(trace: &Trace, plan: &Plan) -> (Trace, RewriteReport) {
+/// Groups `plan`'s insertions into per-anchor target lists and the slot
+/// table keyed by rewritten-space insertion point (before-anchor slots
+/// shift the anchor itself; after-anchor slots begin at the next word).
+type AnchorSlots = (BTreeMap<u64, (bool, Vec<Addr>)>, BTreeMap<u64, (u64, u64)>);
+
+fn plan_slots(plan: &Plan) -> AnchorSlots {
     // Group insertions per anchor, preserving plan order.
     let mut per_anchor: BTreeMap<u64, (bool, Vec<Addr>)> = BTreeMap::new();
     for ins in &plan.insertions {
@@ -141,9 +146,6 @@ pub fn rewrite_trace(trace: &Trace, plan: &Plan) -> (Trace, RewriteReport) {
             entry.1.push(ins.target_pc);
         }
     }
-
-    // Insertion keys: before-anchor slots shift the anchor itself;
-    // after-anchor slots begin at the following word.
     let mut slots: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
     for (&anchor, (before, targets)) in &per_anchor {
         let key = if *before { anchor } else { anchor + WORD };
@@ -154,6 +156,19 @@ pub fn rewrite_trace(trace: &Trace, plan: &Plan) -> (Trace, RewriteReport) {
             entry.0 += targets.len() as u64;
         }
     }
+    (per_anchor, slots)
+}
+
+/// Applies `plan` to `trace`, producing the rewritten trace and its bloat
+/// report.
+///
+/// Every static address at or past an insertion point shifts by one word per
+/// inserted prefetch; branch targets (taken and fall-through) are remapped
+/// into the new address space; data addresses are untouched. The dynamic
+/// stream is identical to the input modulo the inserted `prefetch.i`
+/// instructions, which execute every time their anchor does.
+pub fn rewrite_trace(trace: &Trace, plan: &Plan) -> (Trace, RewriteReport) {
+    let (per_anchor, slots) = plan_slots(plan);
     let shift = ShiftMap::new(&slots);
 
     let mut out = Vec::with_capacity(trace.len() + trace.len() / 8);

@@ -2,6 +2,8 @@
 //! threshold decreases its accuracy but results in higher miss
 //! coverage").
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use swip_asmdb::{Asmdb, AsmdbConfig};

@@ -1,6 +1,8 @@
 //! Ablation: post-fetch correction and GHR history mode, the two FDP
 //! improvements the paper adopts from Ishii et al.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use swip_bench::{BenchError, SessionBuilder};

@@ -1,6 +1,8 @@
 //! Ablation: FTQ depth sweep (the design axis separating the paper's
 //! conservative and industry-standard front-ends).
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use swip_bench::{BenchError, SessionBuilder};

@@ -7,6 +7,8 @@
 //! Use the individual `figN` binaries to regenerate one figure; this
 //! binary exists so the whole evaluation costs one suite sweep.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use swip_bench::{figures, BenchError, SessionBuilder};

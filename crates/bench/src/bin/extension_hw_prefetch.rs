@@ -3,6 +3,8 @@
 //! prefetcher (the hardware comparison point referenced by the paper's
 //! Fig. 1 caption) versus software prefetching (AsmDB, no-overhead).
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use swip_bench::{BenchError, SessionBuilder};

@@ -12,6 +12,8 @@
 //! * AsmDB as preloaded metadata (this extension: no instruction
 //!   overhead, but realistic trigger/metadata-latency limitations).
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use swip_bench::{BenchError, SessionBuilder};

@@ -8,6 +8,8 @@
 //! insertion aggressiveness is cut (higher reach threshold, fewer sites)
 //! and AsmDB re-plans.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use swip_asmdb::Asmdb;

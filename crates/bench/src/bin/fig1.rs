@@ -3,6 +3,8 @@
 //!
 //! Also prints the §IV sanity row: average L1-I MPKI at the 24-entry FTQ.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use swip_bench::{figures, BenchError, ExperimentPlan, SessionBuilder};

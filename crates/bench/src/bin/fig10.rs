@@ -4,6 +4,8 @@
 //! for the configured instruction budget (the paper plots the same
 //! counters over 100 M instructions).
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use swip_bench::{figures, BenchError, ExperimentPlan, SessionBuilder};

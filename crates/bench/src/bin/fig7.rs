@@ -2,6 +2,8 @@
 //! AsmDB. Runs only the AsmDB pipeline per workload — no evaluation
 //! simulations are needed for this figure.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use swip_bench::{figures, BenchError, SessionBuilder};

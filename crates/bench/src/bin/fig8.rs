@@ -3,6 +3,8 @@
 //! claim that the deeper FTQ issues fewer L1-I accesses. Only the two
 //! baseline configurations are simulated.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use swip_bench::{figures, BenchError, ExperimentPlan, SessionBuilder};

@@ -1,6 +1,8 @@
 //! Section III support: the per-cycle FTQ-state taxonomy (Scenarios
 //! 1/2/3) under each configuration.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use swip_bench::{figures, BenchError, ExperimentPlan, SessionBuilder};

@@ -1,5 +1,7 @@
 //! Regenerates Table I: the simulation parameters.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

@@ -66,7 +66,9 @@ mod session;
 
 pub use config::{AsmdbTuning, ConfigId};
 pub use engine::EngineError;
-pub use measure::{measure_throughput, ConfigThroughput, ThroughputReport};
+pub use measure::{
+    append_measurement, measure_throughput, ConfigThroughput, ThroughputHistory, ThroughputReport,
+};
 pub use plan::{ExperimentPlan, PlanError};
 pub use report::{build_plan_report, build_run_report, emit_report, session_counter_pairs};
 pub use results::WorkloadResults;

@@ -11,6 +11,12 @@
 //! Trace generation and AsmDB profiling are warmed (memoized on the
 //! [`Session`]) before the clock starts; the timed region is simulation
 //! only.
+//!
+//! Since schema version 2 the tracked file is a **history**: every
+//! `--measure` run appends one [`ThroughputReport`] entry to
+//! [`ThroughputHistory`] instead of overwriting the file, so the metric's
+//! trajectory across commits stays in the document. A bare v1 report found
+//! on disk is migrated into a single-entry history on the next append.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -203,6 +209,129 @@ impl ThroughputReport {
     }
 }
 
+/// The tracked measurement history (schema version 2 of
+/// `BENCH_throughput.json`): an append-only array of
+/// [`ThroughputReport`] entries, oldest first.
+#[derive(Clone, Debug, Default)]
+pub struct ThroughputHistory {
+    /// Every recorded measurement, in append order.
+    pub entries: Vec<ThroughputReport>,
+}
+
+impl ThroughputHistory {
+    /// The `kind` tag distinguishing a history from a bare v1 report.
+    pub const KIND: &'static str = "swip-throughput-history";
+
+    /// True when `json` looks like a throughput history (the `kind` tag).
+    pub fn is_history_json(json: &Json) -> bool {
+        json.get("kind").and_then(Json::as_str) == Some(Self::KIND)
+    }
+
+    /// The history as a [`Json`] tree (schema version 2).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("version".into(), Json::U64(2)),
+            ("kind".into(), Json::Str(Self::KIND.into())),
+            (
+                "entries".into(),
+                Json::Arr(self.entries.iter().map(ThroughputReport::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a history back from its [`Json`] form. A bare v1
+    /// [`ThroughputReport`] is accepted and migrated to a single-entry
+    /// history, so pre-history files keep validating.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        if ThroughputReport::is_throughput_json(json) {
+            return Ok(ThroughputHistory {
+                entries: vec![ThroughputReport::from_json(json)?],
+            });
+        }
+        if !Self::is_history_json(json) {
+            return Err("not a swip-throughput-history (bad or missing \"kind\")".into());
+        }
+        let version = json
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "missing or non-integer field \"version\"".to_string())?;
+        if version != 2 {
+            return Err(format!("unsupported throughput-history version {version}"));
+        }
+        let entries = json
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "missing or non-array field \"entries\"".to_string())?
+            .iter()
+            .map(ThroughputReport::from_json)
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(ThroughputHistory { entries })
+    }
+
+    /// The most recent measurement.
+    pub fn latest(&self) -> Option<&ThroughputReport> {
+        self.entries.last()
+    }
+
+    /// A human-readable summary (the `swip report` rendering): the latest
+    /// entry in full, plus the aggregate trajectory across entries.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "throughput history: {} entries", self.entries.len());
+        if self.entries.len() > 1 {
+            let trail: Vec<String> = self
+                .entries
+                .iter()
+                .map(|e| format!("{:.0}", e.total_instrs_per_sec()))
+                .collect();
+            let _ = writeln!(out, "  aggregate instrs/s: {}", trail.join(" -> "));
+        }
+        if let Some(latest) = self.latest() {
+            let _ = write!(out, "latest: {}", latest.summary());
+        }
+        out
+    }
+}
+
+/// Appends `report` to the history file at `path`, creating the file (or
+/// migrating a bare v1 report found there) as needed. Returns the path
+/// and the new entry count.
+///
+/// # Errors
+///
+/// I/O failures reading or writing the file, and
+/// [`io::ErrorKind::InvalidData`] when an existing file is neither a
+/// throughput history nor a v1 report — a corrupt tracked file should
+/// stop the run, not be silently replaced.
+pub fn append_measurement(
+    report: &ThroughputReport,
+    path: impl AsRef<Path>,
+) -> io::Result<(PathBuf, usize)> {
+    let path = path.as_ref().to_path_buf();
+    let mut history = match std::fs::read_to_string(&path) {
+        Ok(text) => {
+            let invalid = |e: String| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: {e}", path.display()),
+                )
+            };
+            let json = Json::parse(&text).map_err(|e| invalid(e.to_string()))?;
+            ThroughputHistory::from_json(&json).map_err(invalid)?
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => ThroughputHistory::default(),
+        Err(e) => return Err(e),
+    };
+    history.entries.push(report.clone());
+    std::fs::write(&path, history.to_json().render_pretty())?;
+    Ok((path, history.entries.len()))
+}
+
 /// Measures simulator throughput over the session's workload sweep.
 ///
 /// Each configuration's jobs run serially on the calling thread; traces
@@ -313,6 +442,48 @@ mod tests {
         assert_eq!(loaded.configs.len(), 6);
         assert!(loaded.total_instrs_per_sec() > 0.0);
         assert!(!loaded.summary().is_empty());
+    }
+
+    #[test]
+    fn history_appends_and_migrates_v1_files() {
+        let session = SessionBuilder::new()
+            .instructions(2_000)
+            .stride(24)
+            .build()
+            .unwrap();
+        let report = measure_throughput(&session);
+        let path = std::env::temp_dir().join("swip_measure_history_test.json");
+        let _ = std::fs::remove_file(&path);
+
+        // First append creates a fresh v2 history with one entry.
+        let (p, n) = append_measurement(&report, &path).unwrap();
+        assert_eq!(n, 1);
+        let json = Json::parse(&std::fs::read_to_string(&p).unwrap()).unwrap();
+        assert!(ThroughputHistory::is_history_json(&json));
+        assert_eq!(json.get("version").and_then(Json::as_u64), Some(2));
+
+        // Second append grows the array.
+        let (_, n) = append_measurement(&report, &path).unwrap();
+        assert_eq!(n, 2);
+        let history = ThroughputHistory::from_json(
+            &Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(history.entries.len(), 2);
+        assert!(history.latest().unwrap().total_instrs_per_sec() > 0.0);
+        assert!(history.summary().contains("2 entries"));
+        assert!(history.summary().contains("->"));
+
+        // A pre-history v1 file on disk migrates to entries[0] + the append.
+        report.write_to(&path).unwrap();
+        let (_, n) = append_measurement(&report, &path).unwrap();
+        assert_eq!(n, 2);
+
+        // Corrupt tracked files stop the run instead of being replaced.
+        std::fs::write(&path, "{\"kind\": \"mystery\"}").unwrap();
+        let err = append_measurement(&report, &path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -123,10 +123,13 @@ impl ExperimentPlan {
     }
 
     /// This plan as a wire [`PlanSpec`] (both axes always explicit).
+    /// Custom insertions are admission-time inputs, not part of the
+    /// resolved plan, so the spec never carries them.
     pub fn to_spec(&self) -> PlanSpec {
         PlanSpec {
             workloads: self.workloads.iter().map(|w| w.name.clone()).collect(),
             configs: self.configs.iter().map(|c| c.label().to_string()).collect(),
+            insertions: Vec::new(),
         }
     }
 
@@ -203,6 +206,7 @@ mod tests {
         let spec = PlanSpec {
             workloads: vec![available[1].name.clone()],
             configs: vec!["ftq2_fdp".into(), "ftq24_fdp".into()],
+            insertions: Vec::new(),
         };
         let plan = ExperimentPlan::from_spec(&spec, &available).unwrap();
         assert_eq!(plan.workloads().len(), 1);
@@ -217,6 +221,7 @@ mod tests {
         let spec = PlanSpec {
             workloads: vec!["nope".into()],
             configs: vec![],
+            insertions: Vec::new(),
         };
         assert_eq!(
             ExperimentPlan::from_spec(&spec, &available).unwrap_err(),
@@ -225,6 +230,7 @@ mod tests {
         let spec = PlanSpec {
             workloads: vec![],
             configs: vec!["turbo".into()],
+            insertions: Vec::new(),
         };
         let err = ExperimentPlan::from_spec(&spec, &available).unwrap_err();
         assert_eq!(err, PlanError::UnknownConfig("turbo".into()));

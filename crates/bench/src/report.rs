@@ -10,23 +10,62 @@ use std::fs;
 use std::io;
 use std::path::PathBuf;
 
+use swip_asmdb::Cfg;
 use swip_report::{ConfigReport, RunReport, WorkloadReport};
 
 use crate::{ConfigId, Session, WorkloadResults};
 
 /// Flattens one [`WorkloadResults`] into its report entry; `job_seconds`
 /// is supplied by the caller because the two report flavors disagree on
-/// whether wall-clock belongs in the document.
-fn workload_report(r: &WorkloadResults, job_seconds: f64) -> WorkloadReport {
-    let configs = ConfigId::ALL
+/// whether wall-clock belongs in the document. When the results include an
+/// AsmDB configuration, the entry also carries the statically predicted
+/// coverage of the session's insertion plan (see [`predicted_coverage`]).
+fn workload_report(session: &Session, r: &WorkloadResults, job_seconds: f64) -> WorkloadReport {
+    let configs: Vec<ConfigReport> = ConfigId::ALL
         .iter()
         .filter_map(|&id| r.get(id).map(|sim| ConfigReport::from_sim(id.label(), sim)))
         .collect();
+    let ran_asmdb = ConfigId::ALL
+        .iter()
+        .any(|&id| id.needs_asmdb() && r.get(id).is_some());
     WorkloadReport {
         name: r.name().to_string(),
         job_seconds,
+        coverage: if ran_asmdb {
+            predicted_coverage(session, r.name())
+        } else {
+            Vec::new()
+        },
         configs,
     }
+}
+
+/// Statically evaluates the session's AsmDB plan for `workload` with
+/// `swip-analyze`'s coverage rules (DESIGN.md §14), returning the
+/// [`PredictedCoverage`](swip_analyze::PredictedCoverage) counter pairs.
+///
+/// Fully deterministic — the plan, trace, and CFG are all memoized session
+/// artifacts — so both report flavors can embed it without breaking the
+/// byte-identity contract of [`build_plan_report`]. Empty when `workload`
+/// is not in the session's suite.
+pub fn predicted_coverage(session: &Session, workload: &str) -> Vec<(String, u64)> {
+    let Some(spec) = session.workloads().into_iter().find(|w| w.name == workload) else {
+        return Vec::new();
+    };
+    let trace = session.trace(&spec);
+    let out = session.asmdb(&spec);
+    let cfg = Cfg::from_trace(&trace);
+    let entry = trace
+        .instructions()
+        .first()
+        .and_then(|i| cfg.block_of(i.pc));
+    let eval = swip_analyze::evaluate_plan(
+        &cfg,
+        entry,
+        &out.plan,
+        &swip_analyze::CoverageConfig::default(),
+    );
+    eval.coverage.counter_pairs()
 }
 
 /// The flattened session cache/work counters, as stored in a
@@ -56,7 +95,9 @@ pub fn build_run_report(session: &Session, figure: &str, results: &[WorkloadResu
     );
     report.session = session_counter_pairs(session);
     for r in results {
-        report.workloads.push(workload_report(r, r.job_seconds()));
+        report
+            .workloads
+            .push(workload_report(session, r, r.job_seconds()));
     }
     report.seal();
     report
@@ -80,7 +121,7 @@ pub fn build_plan_report(session: &Session, results: &[WorkloadResults]) -> RunR
         session.threads() as u64,
     );
     for r in results {
-        report.workloads.push(workload_report(r, 0.0));
+        report.workloads.push(workload_report(session, r, 0.0));
     }
     report.seal();
     report
@@ -178,6 +219,41 @@ mod tests {
             build_run_report(&warm, "all", &warm_results).session,
             build_run_report(&cold, "all", &cold_results).session
         );
+    }
+
+    #[test]
+    fn coverage_rides_along_only_on_asmdb_sweeps() {
+        let session = small_session();
+        let all = ExperimentPlan::all_figures(session.workloads());
+        let results = session.run(&all).unwrap();
+        let report = build_run_report(&session, "all", &results);
+        for w in &report.workloads {
+            assert!(!w.coverage.is_empty(), "{} has no coverage", w.name);
+            let sites = w.coverage_counter("sites").unwrap();
+            // The classes partition the sites (DESIGN.md §14). A small
+            // session can legitimately plan zero insertions; the block is
+            // still embedded so `--predict-vs` can report "nothing ran".
+            let sum: u64 = [
+                "useful_sites",
+                "dead_sites",
+                "redundant_sites",
+                "late_sites",
+                "clobbering_sites",
+            ]
+            .iter()
+            .map(|n| w.coverage_counter(n).unwrap())
+            .sum();
+            assert_eq!(sum, sites, "{}", w.name);
+            // Trace-derived AsmDB plans anchor on executed blocks, so the
+            // static evaluator must never call one dead.
+            assert_eq!(w.coverage_counter("dead_sites"), Some(0));
+        }
+        // Base-only sweeps never touch the AsmDB pipeline, so no coverage.
+        let base = ExperimentPlan::new(session.workloads(), &[ConfigId::Base, ConfigId::Fdp]);
+        let results = session.run(&base).unwrap();
+        let report = build_run_report(&session, "fig8", &results);
+        assert!(report.workloads.iter().all(|w| w.coverage.is_empty()));
+        assert!(!report.to_json().contains("\"coverage\""));
     }
 
     #[test]

@@ -12,15 +12,24 @@
 //!   trace-event JSON (open it in `chrome://tracing` or Perfetto);
 //! * `swip asmdb FILE --out FILE [--aggressive]` — run the AsmDB pipeline
 //!   and write the rewritten trace;
-//! * `swip analyze FILE [--json]` — statically verify a trace (and the CFG,
-//!   plan, and rewrite derived from it) without simulating; exits non-zero
-//!   when errors are found;
+//! * `swip analyze FILE [--json] [--coverage]` — statically verify a trace
+//!   (and the CFG, plan, and rewrite derived from it) without simulating;
+//!   `--coverage` additionally classifies every planned insertion as
+//!   useful / dead / redundant / late / clobbering (rules `D001`–`D004`).
+//!   Exits like `diff(1)`: 0 when no errors were found, 1 on
+//!   error-severity diagnostics, 2 when the file cannot be read or
+//!   decoded;
+//! * `swip analyze --predict-vs REPORT.json [--threshold X]` — compare the
+//!   coverage predictions embedded in a bench `report.json` against its
+//!   measured prefetch counters; same exit convention (1 = divergence
+//!   above the threshold, 2 = unreadable/incomparable report);
 //! * `swip bench [--figure NAME] [--instructions N] [--stride N]
 //!   [--threads K] [--asmdb TUNING] [--cache-dir DIR] [--measure]` — run
 //!   a paper figure (or `all` of them) through the parallel experiment
 //!   engine; the `all` sweep also writes a structured `report.json` next
 //!   to the TSVs; `--measure` instead times the simulator over the sweep
-//!   and writes `BENCH_throughput.json` (the tracked hot-path metric);
+//!   and appends an entry to the `BENCH_throughput.json` history (the
+//!   tracked hot-path metric, schema v2);
 //! * `swip report FILE` — summarize a `report.json`; `swip report --diff
 //!   A B` — print the counter-level differences between two run reports
 //!   and exit like `diff(1)`: 0 when they match, 1 when they differ, 2
@@ -90,12 +99,20 @@ pub enum Command {
         /// Use the aggressive tuning.
         aggressive: bool,
     },
-    /// Statically verify a trace file without simulating it.
+    /// Statically verify a trace file without simulating it, or compare a
+    /// run report's embedded coverage predictions against its counters.
     Analyze {
-        /// Trace path.
-        file: String,
+        /// Trace path (`None` in `--predict-vs` mode).
+        file: Option<String>,
         /// Emit the report as one JSON object instead of text.
         json: bool,
+        /// Run the coverage family (D001–D004) and attach the predicted
+        /// coverage summary.
+        coverage: bool,
+        /// Run-report path for prediction-vs-measurement mode.
+        predict_vs: Option<String>,
+        /// Maximum tolerated predict-vs divergence.
+        threshold: swip_analyze::DivergenceThreshold,
     },
     /// Run benchmark figures through the parallel experiment engine.
     Bench {
@@ -164,7 +181,9 @@ USAGE:
   swip inspect FILE
   swip run FILE [--ftq N] [--conservative] [--timeline FILE [--sample-stride N]]
   swip asmdb FILE --out FILE [--aggressive]
-  swip analyze FILE [--json]
+  swip analyze FILE [--json] [--coverage]
+                                   (exits 0 clean / 1 errors / 2 unreadable)
+  swip analyze --predict-vs REPORT.json [--threshold X]
   swip bench [--figure NAME] [--instructions N] [--stride N] [--threads K]
              [--asmdb default|aggressive|wide] [--cache-dir DIR] [--measure]
   swip report FILE
@@ -285,18 +304,61 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
             })
         }
         "analyze" => {
-            let file = it
-                .next()
-                .ok_or_else(|| UsageError("analyze requires a trace file".into()))?
-                .to_string();
+            let mut file = None;
             let mut json = false;
-            for a in it {
+            let mut coverage = false;
+            let mut predict_vs = None;
+            let mut threshold = None;
+            while let Some(a) = it.next() {
                 match a {
                     "--json" => json = true,
-                    other => return Err(UsageError(format!("unknown flag {other}"))),
+                    "--coverage" => coverage = true,
+                    "--predict-vs" => {
+                        predict_vs = Some(take_value(&mut it, a)?.to_string());
+                    }
+                    "--threshold" => {
+                        let v = take_value(&mut it, a)?;
+                        threshold =
+                            Some(swip_analyze::DivergenceThreshold::parse(v).map_err(UsageError)?);
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(UsageError(format!("unknown flag {flag}")))
+                    }
+                    f => {
+                        if file.replace(f.to_string()).is_some() {
+                            return Err(UsageError("analyze takes exactly one trace file".into()));
+                        }
+                    }
                 }
             }
-            Ok(Command::Analyze { file, json })
+            match (&file, &predict_vs) {
+                (None, None) => {
+                    return Err(UsageError(
+                        "analyze requires a trace file or --predict-vs REPORT".into(),
+                    ))
+                }
+                (Some(_), Some(_)) => {
+                    return Err(UsageError(
+                        "analyze takes either a trace file or --predict-vs, not both".into(),
+                    ))
+                }
+                _ => {}
+            }
+            if threshold.is_some() && predict_vs.is_none() {
+                return Err(UsageError("--threshold requires --predict-vs".into()));
+            }
+            if coverage && predict_vs.is_some() {
+                return Err(UsageError(
+                    "--coverage applies to trace analysis, not --predict-vs".into(),
+                ));
+            }
+            Ok(Command::Analyze {
+                file,
+                json,
+                coverage,
+                predict_vs,
+                threshold: threshold.unwrap_or_default(),
+            })
         }
         "bench" => {
             let mut figure = "all".to_string();
@@ -500,18 +562,66 @@ pub fn execute(cmd: Command) -> Result<u8, Box<dyn Error>> {
                 result.report.dynamic_bloat * 100.0
             );
         }
-        Command::Analyze { file, json } => {
-            let report = swip_analyze::analyze_read(File::open(&file)?, &file);
-            if json {
-                println!("{}", report.to_json());
+        Command::Analyze {
+            file,
+            json,
+            coverage,
+            predict_vs,
+            threshold,
+        } => {
+            // diff(1)-style exit codes, matching `swip report --diff`:
+            // 0 clean, 1 diagnostics/divergence found, 2 unreadable input.
+            if let Some(path) = predict_vs {
+                let text = match std::fs::read_to_string(&path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("error: could not read {path}: {e}");
+                        return Ok(2);
+                    }
+                };
+                let report = match swip_report::RunReport::from_json_str(&text) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("error: {path}: {e}");
+                        return Ok(2);
+                    }
+                };
+                let diff = match swip_analyze::PredictionDiff::against(&report, threshold) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        eprintln!("error: {path}: {e}");
+                        return Ok(2);
+                    }
+                };
+                println!("{diff}");
+                if !diff.is_clean() {
+                    return Ok(1);
+                }
             } else {
-                println!("{report}");
-            }
-            if report.has_errors() {
-                return Err(Box::new(UsageError(format!(
-                    "analysis found {} error(s) in {file}",
-                    report.errors()
-                ))));
+                let file = file.expect("parse() guarantees a file without --predict-vs");
+                let handle = match File::open(&file) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        eprintln!("error: could not read {file}: {e}");
+                        return Ok(2);
+                    }
+                };
+                let options = swip_analyze::AnalyzeOptions {
+                    coverage,
+                    ..Default::default()
+                };
+                let report = swip_analyze::analyze_read_with(handle, &file, &options);
+                if json {
+                    println!("{}", report.to_json());
+                } else {
+                    println!("{report}");
+                }
+                if report.families == ["decode"] && report.has_errors() {
+                    return Ok(2); // the bytes never decoded into a trace
+                }
+                if report.has_errors() {
+                    return Ok(1);
+                }
             }
         }
         Command::Bench {
@@ -536,9 +646,11 @@ pub fn execute(cmd: Command) -> Result<u8, Box<dyn Error>> {
             let session = builder.build()?;
             if measure {
                 let report = swip_bench::measure_throughput(&session);
-                let path = report.write_to(swip_bench::measure::THROUGHPUT_FILE)?;
+                let (path, entries) =
+                    swip_bench::append_measurement(&report, swip_bench::measure::THROUGHPUT_FILE)?;
                 println!(
-                    "wrote {}: {} instrs in {:.3} s ({:.0} instrs/s aggregate)",
+                    "appended entry {entries} to {}: {} instrs in {:.3} s \
+                     ({:.0} instrs/s aggregate)",
                     path.display(),
                     report.total_instructions,
                     report.total_seconds,
@@ -564,7 +676,19 @@ pub fn execute(cmd: Command) -> Result<u8, Box<dyn Error>> {
                         .map_err(|e| UsageError(format!("could not read {file}: {e}")))?;
                     let sniff = swip_report::Json::parse(&text)
                         .map_err(|e| UsageError(format!("{file}: {e}")))?;
-                    if swip_bench::ThroughputReport::is_throughput_json(&sniff) {
+                    if swip_bench::ThroughputHistory::is_history_json(&sniff) {
+                        let history = swip_bench::ThroughputHistory::from_json(&sniff)
+                            .map_err(|e| UsageError(format!("{file}: {e}")))?;
+                        print!("{}", history.summary());
+                        match history.latest() {
+                            Some(latest) if latest.total_instrs_per_sec() > 0.0 => {}
+                            _ => {
+                                return Err(Box::new(UsageError(format!(
+                                    "{file}: throughput history is empty or has zero instrs/sec"
+                                ))))
+                            }
+                        }
+                    } else if swip_bench::ThroughputReport::is_throughput_json(&sniff) {
                         let tp = swip_bench::ThroughputReport::from_json(&sniff)
                             .map_err(|e| UsageError(format!("{file}: {e}")))?;
                         print!("{}", tp.summary());
@@ -754,15 +878,31 @@ mod tests {
         assert_eq!(
             parse(&["analyze", "x.swip"]),
             Ok(Command::Analyze {
-                file: "x.swip".into(),
-                json: false
+                file: Some("x.swip".into()),
+                json: false,
+                coverage: false,
+                predict_vs: None,
+                threshold: swip_analyze::DivergenceThreshold::default(),
             })
         );
         assert_eq!(
-            parse(&["analyze", "x.swip", "--json"]),
+            parse(&["analyze", "x.swip", "--json", "--coverage"]),
             Ok(Command::Analyze {
-                file: "x.swip".into(),
-                json: true
+                file: Some("x.swip".into()),
+                json: true,
+                coverage: true,
+                predict_vs: None,
+                threshold: swip_analyze::DivergenceThreshold::default(),
+            })
+        );
+        assert_eq!(
+            parse(&["analyze", "--predict-vs", "r.json", "--threshold", "0.5"]),
+            Ok(Command::Analyze {
+                file: None,
+                json: false,
+                coverage: false,
+                predict_vs: Some("r.json".into()),
+                threshold: swip_analyze::DivergenceThreshold(0.5),
             })
         );
         assert_eq!(
@@ -829,6 +969,11 @@ mod tests {
         assert!(parse(&["frobnicate"]).is_err());
         assert!(parse(&["analyze"]).is_err());
         assert!(parse(&["analyze", "x", "--bogus"]).is_err());
+        assert!(parse(&["analyze", "x", "y"]).is_err());
+        assert!(parse(&["analyze", "x", "--predict-vs", "r.json"]).is_err());
+        assert!(parse(&["analyze", "x", "--threshold", "0.5"]).is_err());
+        assert!(parse(&["analyze", "--predict-vs", "r.json", "--threshold", "2"]).is_err());
+        assert!(parse(&["analyze", "--predict-vs", "r.json", "--coverage"]).is_err());
         assert!(parse(&["run"]).is_err());
         assert!(parse(&["run", "x", "--ftq"]).is_err());
         assert!(parse(&["run", "x", "--ftq", "zero"]).is_err());
@@ -887,25 +1032,61 @@ mod tests {
         let text = std::fs::read_to_string(&trace_json).unwrap();
         assert!(text.contains("traceEvents"));
         let _ = std::fs::remove_file(&trace_json);
-        execute(Command::Analyze {
-            file: path.clone(),
-            json: true,
-        })
-        .unwrap();
+        assert_eq!(
+            execute(Command::Analyze {
+                file: Some(path.clone()),
+                json: true,
+                coverage: true,
+                predict_vs: None,
+                threshold: swip_analyze::DivergenceThreshold::default(),
+            })
+            .unwrap(),
+            0
+        );
         let _ = std::fs::remove_file(&path);
     }
 
     #[test]
-    fn analyze_fails_on_corrupt_file() {
+    fn analyze_exit_codes_follow_diff_convention() {
+        let analyze = |file: Option<String>, predict_vs: Option<String>| {
+            execute(Command::Analyze {
+                file,
+                json: false,
+                coverage: false,
+                predict_vs,
+                threshold: swip_analyze::DivergenceThreshold::default(),
+            })
+            .unwrap()
+        };
+        // Undecodable bytes and missing files are "unreadable input" → 2.
         let dir = std::env::temp_dir();
         let path = dir.join("swip_cli_corrupt.swip").display().to_string();
         std::fs::write(&path, b"not a trace").unwrap();
-        let err = execute(Command::Analyze {
-            file: path.clone(),
-            json: false,
-        })
-        .unwrap_err();
-        assert!(err.to_string().contains("error(s)"), "{err}");
+        assert_eq!(analyze(Some(path.clone()), None), 2);
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(analyze(Some("/no/such/trace.swip".into()), None), 2);
+        assert_eq!(analyze(None, Some("/no/such/report.json".into())), 2);
+        // A decodable trace with error diagnostics → 1.
+        let trace = swip_trace::Trace::from_instructions(
+            "bad",
+            vec![
+                swip_types::Instruction::alu(swip_types::Addr::new(0x0)),
+                swip_types::Instruction::alu(swip_types::Addr::new(0x900)),
+            ],
+        );
+        let path = dir
+            .join("swip_cli_discontinuous.swip")
+            .display()
+            .to_string();
+        trace.write_to(File::create(&path).unwrap()).unwrap();
+        assert_eq!(analyze(Some(path.clone()), None), 1);
+        let _ = std::fs::remove_file(&path);
+        // A report with nothing to compare → 2.
+        let path = dir.join("swip_cli_nocov.json").display().to_string();
+        let mut report = swip_report::RunReport::new("all", 1_000, 48, 1);
+        report.seal();
+        std::fs::write(&path, report.to_json()).unwrap();
+        assert_eq!(analyze(None, Some(path.clone())), 2);
         let _ = std::fs::remove_file(&path);
     }
 
@@ -918,6 +1099,7 @@ mod tests {
         report.workloads.push(swip_report::WorkloadReport {
             name: "w".into(),
             job_seconds: 0.1,
+            coverage: Vec::new(),
             configs: vec![swip_report::ConfigReport {
                 config: "ftq2_fdp".into(),
                 counters: vec![("cycles".into(), 100)],

@@ -1,5 +1,7 @@
 //! The `swip` command-line entry point; all logic lives in [`swip_cli`].
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

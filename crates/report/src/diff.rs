@@ -177,6 +177,7 @@ mod tests {
         r.workloads.push(WorkloadReport {
             name: "w".into(),
             job_seconds: 0.5,
+            coverage: Vec::new(),
             configs: vec![ConfigReport {
                 config: "ftq2_fdp".into(),
                 counters: vec![("cycles".into(), cycles), ("instructions".into(), 1000)],

@@ -30,6 +30,6 @@ mod trace_event;
 
 pub use diff::{CounterDelta, ReportDiff};
 pub use json::{Json, JsonError};
-pub use plan::{PlanSpec, PlanSpecError};
+pub use plan::{InsertionSpec, PlanSpec, PlanSpecError};
 pub use run_report::{ConfigReport, ReportError, RunReport, WorkloadReport, SCHEMA_VERSION};
 pub use trace_event::to_chrome_trace;

@@ -12,6 +12,20 @@
 //!
 //! Both keys are optional; an omitted (or empty) axis means "all of them".
 //! `{}` is therefore the full sweep the serving session was scoped to.
+//!
+//! A spec may additionally carry custom prefetch insertions to be
+//! *statically admitted* (verified against each selected workload's CFG by
+//! `swip-analyze`'s coverage rules) before the job queues:
+//!
+//! ```json
+//! {"workloads": ["secret_srv12"],
+//!  "insertions": [{"anchor": 4160, "target": 8256, "distance": 48, "reach": 0.9}]}
+//! ```
+//!
+//! Admission is the only consumer: insertions do not change what the job
+//! executes (the session's own AsmDB plans do), they let a client ask "would
+//! this hand-written plan be sound here?" and get a 400 with rule ids when
+//! it would not.
 
 use std::fmt;
 
@@ -43,9 +57,92 @@ impl From<JsonError> for PlanSpecError {
     }
 }
 
+/// One custom prefetch insertion offered for static admission: prefetch
+/// the line of `target` from the instruction at `anchor`.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct InsertionSpec {
+    /// Address of the anchor instruction the prefetch attaches to.
+    pub anchor: u64,
+    /// Address whose cache line the prefetch warms.
+    pub target: u64,
+    /// Claimed anchor→target distance in instructions.
+    pub distance: u64,
+    /// Claimed probability the target executes after the anchor.
+    pub reach: f64,
+}
+
+impl InsertionSpec {
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("anchor".into(), Json::U64(self.anchor)),
+            ("target".into(), Json::U64(self.target)),
+            ("distance".into(), Json::U64(self.distance)),
+            ("reach".into(), Json::F64(self.reach)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, PlanSpecError> {
+        let Json::Obj(pairs) = v else {
+            return Err(PlanSpecError::Schema(
+                "insertions entries must be objects".into(),
+            ));
+        };
+        let mut spec = InsertionSpec {
+            anchor: 0,
+            target: 0,
+            distance: 0,
+            reach: 1.0,
+        };
+        let mut seen_anchor = false;
+        let mut seen_target = false;
+        for (key, value) in pairs {
+            match key.as_str() {
+                "anchor" | "target" | "distance" => {
+                    let Some(n) = value.as_u64() else {
+                        return Err(PlanSpecError::Schema(format!(
+                            "insertion {key} must be a non-negative integer"
+                        )));
+                    };
+                    match key.as_str() {
+                        "anchor" => {
+                            spec.anchor = n;
+                            seen_anchor = true;
+                        }
+                        "target" => {
+                            spec.target = n;
+                            seen_target = true;
+                        }
+                        _ => spec.distance = n,
+                    }
+                }
+                "reach" => {
+                    let Some(x) = value.as_f64() else {
+                        return Err(PlanSpecError::Schema(
+                            "insertion reach must be a number".into(),
+                        ));
+                    };
+                    spec.reach = x;
+                }
+                other => {
+                    return Err(PlanSpecError::Schema(format!(
+                        "unknown insertion key {other:?} (expected \"anchor\" / \"target\" / \
+                         \"distance\" / \"reach\")"
+                    )));
+                }
+            }
+        }
+        if !seen_anchor || !seen_target {
+            return Err(PlanSpecError::Schema(
+                "insertions require both anchor and target".into(),
+            ));
+        }
+        Ok(spec)
+    }
+}
+
 /// An experiment plan by name: which workloads to run under which
 /// configurations. Empty axes mean "all".
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct PlanSpec {
     /// Workload names (`secret_srv12`, …); empty selects every workload
     /// the session is scoped to.
@@ -53,6 +150,9 @@ pub struct PlanSpec {
     /// Configuration labels (`ftq2_fdp`, `ftq24_asmdb`, …); empty selects
     /// all six.
     pub configs: Vec<String>,
+    /// Custom insertions to statically admit against every selected
+    /// workload (empty = none; execution is unaffected either way).
+    pub insertions: Vec<InsertionSpec>,
 }
 
 impl PlanSpec {
@@ -80,12 +180,24 @@ impl PlanSpec {
         };
         let mut spec = PlanSpec::default();
         for (key, value) in pairs {
+            if key == "insertions" {
+                let Some(items) = value.as_arr() else {
+                    return Err(PlanSpecError::Schema(
+                        "insertions must be an array of objects".into(),
+                    ));
+                };
+                for item in items {
+                    spec.insertions.push(InsertionSpec::from_json(item)?);
+                }
+                continue;
+            }
             let target = match key.as_str() {
                 "workloads" => &mut spec.workloads,
                 "configs" => &mut spec.configs,
                 other => {
                     return Err(PlanSpecError::Schema(format!(
-                        "unknown key {other:?} (expected \"workloads\" / \"configs\")"
+                        "unknown key {other:?} (expected \"workloads\" / \"configs\" / \
+                         \"insertions\")"
                     )))
                 }
             };
@@ -108,13 +220,21 @@ impl PlanSpec {
         Ok(spec)
     }
 
-    /// The spec as a [`Json`] object (the canonical submission body).
+    /// The spec as a [`Json`] object (the canonical submission body). The
+    /// `insertions` key appears only when custom insertions are present.
     pub fn to_json_value(&self) -> Json {
         let arr = |items: &[String]| Json::Arr(items.iter().cloned().map(Json::Str).collect());
-        Json::Obj(vec![
+        let mut pairs = vec![
             ("workloads".into(), arr(&self.workloads)),
             ("configs".into(), arr(&self.configs)),
-        ])
+        ];
+        if !self.insertions.is_empty() {
+            pairs.push((
+                "insertions".into(),
+                Json::Arr(self.insertions.iter().map(|i| i.to_json()).collect()),
+            ));
+        }
+        Json::Obj(pairs)
     }
 }
 
@@ -134,9 +254,50 @@ mod tests {
         let spec = PlanSpec {
             workloads: vec!["secret_srv12".into(), "public_srv_60".into()],
             configs: vec!["ftq2_fdp".into()],
+            insertions: Vec::new(),
         };
         let back = PlanSpec::from_json_value(&spec.to_json_value()).unwrap();
         assert_eq!(back, spec);
+        assert!(!spec.to_json_value().render().contains("insertions"));
+    }
+
+    #[test]
+    fn insertions_round_trip() {
+        let spec = PlanSpec {
+            workloads: vec!["secret_srv12".into()],
+            configs: Vec::new(),
+            insertions: vec![InsertionSpec {
+                anchor: 0x1040,
+                target: 0x2040,
+                distance: 48,
+                reach: 0.9,
+            }],
+        };
+        let back = PlanSpec::from_json_value(&spec.to_json_value()).unwrap();
+        assert_eq!(back, spec);
+
+        // reach defaults to 1.0 and distance to 0 when omitted.
+        let spec =
+            PlanSpec::from_json_str(r#"{"insertions": [{"anchor": 16, "target": 128}]}"#).unwrap();
+        assert_eq!(spec.insertions.len(), 1);
+        assert_eq!(spec.insertions[0].distance, 0);
+        assert!((spec.insertions[0].reach - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insertion_schema_violations_are_named() {
+        let err = PlanSpec::from_json_str(r#"{"insertions": "x"}"#).unwrap_err();
+        assert!(err.to_string().contains("array"), "{err}");
+        let err = PlanSpec::from_json_str(r#"{"insertions": [5]}"#).unwrap_err();
+        assert!(err.to_string().contains("objects"), "{err}");
+        let err = PlanSpec::from_json_str(r#"{"insertions": [{"anchor": 16}]}"#).unwrap_err();
+        assert!(err.to_string().contains("target"), "{err}");
+        let err =
+            PlanSpec::from_json_str(r#"{"insertions": [{"anchor": 16, "goal": 1}]}"#).unwrap_err();
+        assert!(err.to_string().contains("goal"), "{err}");
+        let err = PlanSpec::from_json_str(r#"{"insertions": [{"anchor": -4, "target": 1}]}"#)
+            .unwrap_err();
+        assert!(err.to_string().contains("non-negative"), "{err}");
     }
 
     #[test]

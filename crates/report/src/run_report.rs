@@ -274,6 +274,12 @@ pub struct WorkloadReport {
     pub name: String,
     /// Simulation seconds spent on this workload's jobs.
     pub job_seconds: f64,
+    /// Statically predicted prefetch coverage for this workload's AsmDB
+    /// plan, as stable `(name, value)` counters (see `swip-analyze`'s
+    /// `PredictedCoverage`). Empty when the run simulated no AsmDB
+    /// configuration; omitted from JSON in that case, so schema v1 readers
+    /// and fingerprints are unaffected.
+    pub coverage: Vec<(String, u64)>,
     /// One entry per simulated configuration, in plan order.
     pub configs: Vec<ConfigReport>,
 }
@@ -284,24 +290,57 @@ impl WorkloadReport {
         self.configs.iter().find(|c| c.config == label)
     }
 
+    /// A predicted-coverage counter by name.
+    pub fn coverage_counter(&self, name: &str) -> Option<u64> {
+        self.coverage
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut pairs = vec![
             ("name".into(), Json::Str(self.name.clone())),
             ("job_seconds".into(), Json::F64(self.job_seconds)),
-            (
-                "configs".into(),
-                Json::Arr(self.configs.iter().map(ConfigReport::to_json).collect()),
-            ),
-        ])
+        ];
+        if !self.coverage.is_empty() {
+            pairs.push((
+                "coverage".into(),
+                Json::Obj(
+                    self.coverage
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::U64(*v)))
+                        .collect(),
+                ),
+            ));
+        }
+        pairs.push((
+            "configs".into(),
+            Json::Arr(self.configs.iter().map(ConfigReport::to_json).collect()),
+        ));
+        Json::Obj(pairs)
     }
 
     fn from_json(v: &Json) -> Result<Self, ReportError> {
+        let coverage = match v.get("coverage") {
+            None => Vec::new(),
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, val)| {
+                    val.as_u64()
+                        .map(|n| (k.clone(), n))
+                        .ok_or_else(|| schema(format!("coverage counter {k} is not a u64")))
+                })
+                .collect::<Result<_, _>>()?,
+            Some(_) => return Err(schema("workload coverage must be an object")),
+        };
         Ok(WorkloadReport {
             name: str_field(v, "name")?.to_string(),
             job_seconds: v
                 .get("job_seconds")
                 .and_then(Json::as_f64)
                 .ok_or_else(|| schema("workload missing job_seconds"))?,
+            coverage,
             configs: v
                 .get("configs")
                 .and_then(Json::as_arr)
@@ -531,6 +570,7 @@ mod tests {
         r.workloads.push(WorkloadReport {
             name: "secret_srv12".into(),
             job_seconds: 1.25,
+            coverage: Vec::new(),
             configs: vec![ConfigReport {
                 config: "ftq2_fdp".into(),
                 counters: vec![("cycles".into(), 123_456), ("completed".into(), 1)],
@@ -549,6 +589,21 @@ mod tests {
         assert_eq!(back, r);
         // And the fingerprint still verifies after the round trip.
         assert_eq!(back.compute_fingerprint(), back.fingerprint);
+    }
+
+    #[test]
+    fn coverage_round_trips_and_stays_out_of_empty_documents() {
+        let mut r = sample();
+        assert!(!r.to_json().contains("\"coverage\""));
+        r.workloads[0].coverage = vec![("sites".into(), 7), ("useful_sites".into(), 5)];
+        let text = r.to_json();
+        assert!(text.contains("\"coverage\""));
+        let back = RunReport::from_json_str(&text).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.workloads[0].coverage_counter("useful_sites"), Some(5));
+        assert_eq!(back.workloads[0].coverage_counter("nope"), None);
+        // Coverage is a prediction, not configuration: fingerprints ignore it.
+        assert_eq!(r.compute_fingerprint(), sample().fingerprint);
     }
 
     #[test]

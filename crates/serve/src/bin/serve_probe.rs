@@ -4,6 +4,8 @@
 //!
 //! Usage: `serve_probe HOST:PORT`. Exits 0 only if every step succeeds.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 

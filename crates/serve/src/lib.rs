@@ -12,7 +12,7 @@
 //!
 //! | Endpoint | Meaning |
 //! |---|---|
-//! | `POST /v1/jobs` | Submit a plan (`{"workloads": […], "configs": […]}`, empty axis = all) → job id |
+//! | `POST /v1/jobs` | Submit a plan (`{"workloads": […], "configs": […], "insertions": […]}`, empty axis = all) → job id |
 //! | `GET /v1/jobs/{id}` | Job state machine `queued → running → done \| failed` + timings |
 //! | `GET /v1/jobs/{id}/report` | The finished job's deterministic `RunReport` |
 //! | `GET /healthz` | Liveness + drain flag |
@@ -23,6 +23,12 @@
 //!
 //! * **Backpressure is typed**: the queue is bounded; a full queue
 //!   answers `429` with `Retry-After`, never unbounded buffering.
+//! * **Admission is static**: before queueing, the plan's prefetch
+//!   insertions (custom ones from the spec, and the session's own AsmDB
+//!   plan for AsmDB configurations) are evaluated against each selected
+//!   workload's CFG with `swip-analyze`'s coverage rules; fatal
+//!   diagnostics (`D001`, provably dead) are a `400` carrying the rule
+//!   ids.
 //! * **Reports are deterministic**: a job's report is built with
 //!   [`build_plan_report`](swip_bench::build_plan_report), byte-identical
 //!   to an offline run of the same plan at the same session knobs.
@@ -47,6 +53,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admit;
 pub mod client;
 mod http;
 mod job;

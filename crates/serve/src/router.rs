@@ -3,10 +3,13 @@
 //! The admission pipeline for `POST /v1/jobs` is strict and fully typed:
 //! the body must decode as a [`PlanSpec`] (400 otherwise), the spec must
 //! resolve against the session's workload suite (400 with the
-//! [`PlanError`](swip_bench::PlanError) message), and only then does the
-//! job contend for a queue slot — so a typo'd workload name can never
-//! occupy capacity or reach a worker. Backpressure (429 + `Retry-After`)
-//! and drain (503) are the only ways a well-formed plan is refused.
+//! [`PlanError`](swip_bench::PlanError) message), the prefetch plan must
+//! pass static coverage admission (400 with the fatal `D`-rule ids — see
+//! [`admit`](crate::admit)), and only then does the job contend for a
+//! queue slot — so a typo'd workload name or a provably dead insertion
+//! can never occupy capacity or reach a worker. Backpressure (429 +
+//! `Retry-After`) and drain (503) are the only ways a sound plan is
+//! refused.
 
 use std::sync::Arc;
 
@@ -72,6 +75,26 @@ fn submit(ctx: &Arc<ServeContext>, req: &Request) -> Response {
         Ok(plan) => plan,
         Err(e) => return Response::error(400, &format!("unresolvable plan: {e}")),
     };
+    // Static coverage admission (family D): a plan whose prefetches are
+    // provably dead is refused before it can occupy queue capacity.
+    if let Err(r) = ctx.admission.admit(&ctx.session, &plan, &spec.insertions) {
+        let obj = Json::Obj(vec![
+            (
+                "error".to_string(),
+                Json::Str(format!(
+                    "plan rejected by static admission: {} trip fatal coverage rules on \
+                     workload {}",
+                    r.what, r.workload
+                )),
+            ),
+            ("workload".to_string(), Json::Str(r.workload)),
+            (
+                "rules".to_string(),
+                Json::Arr(r.rules.into_iter().map(Json::Str).collect()),
+            ),
+        ]);
+        return Response::json(400, obj.render());
+    }
     // Store the *resolved* spec so the job resource shows exactly what
     // will run, even when the submission left an axis empty.
     let id = ctx.registry.create(plan.to_spec());

@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 
 use swip_bench::Session;
 
+use crate::admit::AdmissionCache;
 use crate::http::{read_request, Response};
 use crate::job::{JobRegistry, JobState};
 use crate::queue::BoundedQueue;
@@ -53,6 +54,7 @@ pub struct ServeContext {
     pub(crate) session: Session,
     pub(crate) queue: BoundedQueue<QueuedJob>,
     pub(crate) registry: JobRegistry,
+    pub(crate) admission: AdmissionCache,
     pub(crate) started: Instant,
     pub(crate) workers: usize,
     draining: AtomicBool,
@@ -120,6 +122,7 @@ impl Server {
             session,
             queue: BoundedQueue::new(config.queue_depth.max(1)),
             registry: JobRegistry::new(),
+            admission: AdmissionCache::default(),
             started: Instant::now(),
             workers: config.workers.max(1),
             draining: AtomicBool::new(false),

@@ -37,6 +37,45 @@ echo "==> swip report $report"
 cargo run -p swip-cli --release --quiet -- report "$report"
 echo "structured run report present and loadable"
 
+echo "==> swip analyze --predict-vs (static prediction vs measured counters)"
+# The smoke report embeds each workload's predicted coverage; the diff
+# against the measured prefetch counters must stay within the default
+# divergence threshold (DESIGN.md §14).
+cargo run -p swip-cli --release --quiet -- analyze --predict-vs "$report"
+echo "coverage predictions within threshold of measured counters"
+
+echo "==> swip analyze --coverage over a generated corpus"
+corpus="target/analyze-corpus"
+rm -rf "$corpus"
+mkdir -p "$corpus"
+for w in public_srv_60 secret_srv12 secret_int_124 secret_crypto52; do
+    cargo run -p swip-cli --release --quiet -- gen "$w" \
+        --out "$corpus/$w.swip" --instructions 20000
+    cargo run -p swip-cli --release --quiet -- asmdb "$corpus/$w.swip" \
+        --out "$corpus/$w.rw.swip" >/dev/null
+    # Exit 0 = clean or warnings only; 1 would mean a fatal diagnostic
+    # (e.g. a dead insertion, rule D001) in a plan our own planner made.
+    if ! cargo run -p swip-cli --release --quiet -- analyze \
+        "$corpus/$w.rw.swip" --coverage >/dev/null; then
+        echo "FAIL: analyze --coverage found fatal diagnostics in $w" >&2
+        exit 1
+    fi
+done
+echo "static coverage clean over the corpus (4 rewritten workloads)"
+
+echo "==> swip analyze exit codes"
+printf 'not a trace' >"$corpus/garbage.swip"
+set +e
+cargo run -p swip-cli --release --quiet -- analyze "$corpus/garbage.swip" \
+    >/dev/null 2>&1
+code=$?
+set -e
+if [ "$code" -ne 2 ]; then
+    echo "FAIL: analyze of an unreadable file must exit 2 (got $code)" >&2
+    exit 1
+fi
+echo "analyze follows the diff(1) exit convention"
+
 echo "==> swip report --diff exit codes"
 if ! cargo run -p swip-cli --release --quiet -- report --diff "$report" "$report"; then
     echo "FAIL: diff of a report against itself must exit 0" >&2
@@ -63,19 +102,29 @@ fi
 rm -f target/fig1.first.tsv
 echo "figure output is byte-stable across runs"
 
-echo "==> smoke: swip bench --measure (throughput harness)"
+echo "==> smoke: swip bench --measure (throughput history harness)"
 # Run from target/ so the smoke measurement does not clobber the tracked
 # BENCH_throughput.json at the repo root (that one is the full sweep).
+# Two runs: --measure appends to a schema-v2 history, so the second run
+# must grow the entries array rather than overwrite the first.
+rm -f target/BENCH_throughput.json
+(cd target && cargo run -p swip-cli --release --quiet -- bench --measure \
+    --instructions 2000 --stride 24)
 (cd target && cargo run -p swip-cli --release --quiet -- bench --measure \
     --instructions 2000 --stride 24)
 if ! [ -s target/BENCH_throughput.json ]; then
     echo "FAIL: target/BENCH_throughput.json missing or empty" >&2
     exit 1
 fi
+entries=$(grep -c '"total_instrs_per_sec"' target/BENCH_throughput.json)
+if [ "$entries" -ne 2 ]; then
+    echo "FAIL: expected 2 history entries after 2 measure runs, got $entries" >&2
+    exit 1
+fi
 # swip report parses the file with the swip-report JSON parser and exits
 # nonzero on malformed schema or zero instrs/sec.
 cargo run -p swip-cli --release --quiet -- report target/BENCH_throughput.json
-echo "throughput report present, well-formed, nonzero instrs/sec"
+echo "throughput history present, well-formed, 2 entries after 2 runs"
 
 echo "==> smoke: swip serve (ephemeral port, probe, graceful drain)"
 cargo build -q --release -p swip-cli -p swip-serve

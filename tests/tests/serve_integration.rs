@@ -149,6 +149,20 @@ fn served_report_is_byte_identical_to_an_offline_run() {
     let (status, _) = submit(&h.addr, "not json");
     assert_eq!(status, 400);
 
+    // Static admission: a custom insertion anchored at an address no
+    // workload ever executes is provably dead (D001) — rejected with the
+    // rule ids before it can occupy queue capacity.
+    let jobs_before = h.ctx.job_counts().iter().sum::<u64>();
+    let (status, body) = submit(
+        &h.addr,
+        r#"{"configs": ["ftq2_fdp"],
+            "insertions": [{"anchor": 3735879680, "target": 64, "distance": 48}]}"#,
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("D001"), "{body}");
+    assert!(body.contains("static admission"), "{body}");
+    assert_eq!(h.ctx.job_counts().iter().sum::<u64>(), jobs_before);
+
     let (status, _) = client::request(&h.addr, "POST", "/v1/shutdown", None).unwrap();
     assert_eq!(status, 202);
     h.server.join().unwrap().unwrap();
