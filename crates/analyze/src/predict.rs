@@ -266,6 +266,7 @@ mod tests {
             coverage,
             configs: vec![ConfigReport {
                 config: config.into(),
+                prefetcher: String::new(),
                 counters: vec![
                     ("ftq.swpf_executed".into(), swpf),
                     ("l1i.prefetch_hits".into(), hits),
@@ -316,6 +317,18 @@ mod tests {
         r.workloads[0].coverage.clear();
         let err = PredictionDiff::against(&r, DivergenceThreshold::default()).unwrap_err();
         assert_eq!(err, PredictError::NothingToCompare);
+    }
+
+    #[test]
+    fn prefetcher_zoo_configs_are_never_compared() {
+        // MANA and shadow-BTB runs execute hardware prefetches, not AsmDB
+        // insertions — their counters must never be held against the
+        // static coverage prediction.
+        for label in ["ftq24_mana", "ftq24_shadow_btb"] {
+            let r = report_with(cov(100, 0), label, 100, 80);
+            let err = PredictionDiff::against(&r, DivergenceThreshold::default()).unwrap_err();
+            assert_eq!(err, PredictError::NothingToCompare, "{label}");
+        }
     }
 
     #[test]

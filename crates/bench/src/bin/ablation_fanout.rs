@@ -14,8 +14,7 @@ use swip_types::geomean;
 const REACHES: [f64; 4] = [0.10, 0.30, 0.50, 0.70];
 
 fn run() -> Result<(), BenchError> {
-    #[allow(deprecated)] // the figure binaries keep the SWIP_* shim alive
-    let session = SessionBuilder::from_env().build()?;
+    let session = SessionBuilder::new().build()?;
     let specs = session.workloads();
     let per_workload = session.par_map(&specs, |_, spec| {
         let trace = session.trace(spec);

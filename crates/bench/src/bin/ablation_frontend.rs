@@ -32,8 +32,7 @@ fn variants() -> [SimConfig; 5] {
 }
 
 fn run() -> Result<(), BenchError> {
-    #[allow(deprecated)] // the figure binaries keep the SWIP_* shim alive
-    let session = SessionBuilder::from_env().build()?;
+    let session = SessionBuilder::new().build()?;
     let specs = session.workloads();
     let per_workload = session.par_map(&specs, |_, spec| {
         let trace = session.trace(spec);

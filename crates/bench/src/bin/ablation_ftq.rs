@@ -12,8 +12,7 @@ use swip_types::geomean;
 const DEPTHS: [usize; 7] = [2, 4, 8, 12, 16, 24, 32];
 
 fn run() -> Result<(), BenchError> {
-    #[allow(deprecated)] // the figure binaries keep the SWIP_* shim alive
-    let session = SessionBuilder::from_env().build()?;
+    let session = SessionBuilder::new().build()?;
     let specs = session.workloads();
     let per_workload = session.par_map(&specs, |_, spec| {
         let trace = session.trace(spec);

@@ -14,8 +14,7 @@ use std::process::ExitCode;
 use swip_bench::{figures, BenchError, SessionBuilder};
 
 fn run() -> Result<(), BenchError> {
-    #[allow(deprecated)] // the figure binaries keep the SWIP_* shim alive
-    let session = SessionBuilder::from_env().build()?;
+    let session = SessionBuilder::new().build()?;
     figures::emit_all(&session)?;
     Ok(())
 }

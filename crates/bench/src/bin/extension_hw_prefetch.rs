@@ -13,8 +13,7 @@ use swip_core::{SimConfig, Simulator};
 use swip_types::geomean;
 
 fn run() -> Result<(), BenchError> {
-    #[allow(deprecated)] // the figure binaries keep the SWIP_* shim alive
-    let session = SessionBuilder::from_env().build()?;
+    let session = SessionBuilder::new().build()?;
     let specs = session.workloads();
     let per_workload = session.par_map(&specs, |_, spec| {
         let trace = session.trace(spec);

@@ -17,8 +17,7 @@ use swip_bench::{BenchError, SessionBuilder};
 use swip_core::{SimConfig, Simulator};
 
 fn run() -> Result<(), BenchError> {
-    #[allow(deprecated)] // the figure binaries keep the SWIP_* shim alive
-    let session = SessionBuilder::from_env().build()?;
+    let session = SessionBuilder::new().build()?;
     let specs = session.workloads();
     let rows = session.par_map(&specs, |_, spec| {
         let trace = session.trace(spec);

@@ -10,8 +10,7 @@ use std::process::ExitCode;
 use swip_bench::{figures, BenchError, ExperimentPlan, SessionBuilder};
 
 fn run() -> Result<(), BenchError> {
-    #[allow(deprecated)] // the figure binaries keep the SWIP_* shim alive
-    let session = SessionBuilder::from_env().build()?;
+    let session = SessionBuilder::new().build()?;
     let plan = ExperimentPlan::new(session.workloads(), &figures::FIG8_CONFIGS);
     let results = session.run(&plan)?;
     figures::emit_fig8(&results)?;

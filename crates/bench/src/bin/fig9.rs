@@ -11,8 +11,7 @@ use std::process::ExitCode;
 use swip_bench::{figures, BenchError, ExperimentPlan, SessionBuilder};
 
 fn run() -> Result<(), BenchError> {
-    #[allow(deprecated)] // the figure binaries keep the SWIP_* shim alive
-    let session = SessionBuilder::from_env().build()?;
+    let session = SessionBuilder::new().build()?;
     let plan = ExperimentPlan::all_figures(session.workloads());
     let results = session.run(&plan)?;
     figures::emit_fig9(&results)?;

@@ -8,8 +8,7 @@ use std::process::ExitCode;
 use swip_bench::{figures, BenchError, ExperimentPlan, SessionBuilder};
 
 fn run() -> Result<(), BenchError> {
-    #[allow(deprecated)] // the figure binaries keep the SWIP_* shim alive
-    let session = SessionBuilder::from_env().build()?;
+    let session = SessionBuilder::new().build()?;
     let plan = ExperimentPlan::new(session.workloads(), &figures::SCENARIO_CONFIGS);
     let results = session.run_streaming(&plan, |r| eprintln!("done {}", r.name()))?;
     figures::emit_scenarios(&results)?;

@@ -111,7 +111,7 @@ fn pool_run<T: Send>(
 
 /// Per-workload accumulation while that workload's jobs are in flight.
 struct PendingWorkload {
-    reports: [Option<SimReport>; 6],
+    reports: [Option<SimReport>; 8],
     seconds: f64,
     remaining: usize,
 }

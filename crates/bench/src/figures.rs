@@ -7,7 +7,7 @@ use std::path::PathBuf;
 
 use swip_asmdb::RewriteReport;
 use swip_core::{SimConfig, SimReport};
-use swip_types::geomean;
+use swip_types::{geomean, PrefetcherId};
 
 use crate::{emit_tsv, BenchError, ConfigId, ExperimentPlan, Session, WorkloadResults};
 
@@ -205,6 +205,64 @@ pub fn emit_table1() -> io::Result<PathBuf> {
     emit_tsv("table1", "parameter\tvalue", &rows)
 }
 
+/// Emits `prefetchers.tsv`: the Fig-9-style zoo comparison — one row per
+/// (workload, prefetcher), every mechanism on the industry-standard
+/// 24-entry-FTQ front-end so the rows differ only in the prefetcher.
+pub fn emit_prefetchers(
+    results: &[WorkloadResults],
+    prefetchers: &[PrefetcherId],
+) -> io::Result<PathBuf> {
+    let mut rows = Vec::new();
+    for r in results {
+        for p in prefetchers {
+            let report = r.report(ConfigId::for_prefetcher(*p));
+            rows.push(format!(
+                "{}\t{}\t{:.4}\t{:.4}",
+                r.name(),
+                p.label(),
+                report.ipc,
+                report.l1i_mpki
+            ));
+        }
+    }
+    emit_tsv("prefetchers", "workload\tprefetcher\tipc\tl1i_mpki", &rows)
+}
+
+/// Runs the prefetcher-zoo sweep over `prefetchers` (all four when the
+/// caller passes [`PrefetcherId::ALL`]) and emits `prefetchers.tsv` plus
+/// the embedded run report. This is the entry point behind
+/// `swip bench --prefetcher`.
+pub fn run_prefetcher_sweep(
+    session: &Session,
+    prefetchers: &[PrefetcherId],
+) -> Result<Vec<PathBuf>, BenchError> {
+    let mut unique: Vec<PrefetcherId> = Vec::new();
+    for p in prefetchers {
+        if !unique.contains(p) {
+            unique.push(*p);
+        }
+    }
+    let prefetchers = unique.as_slice();
+    let plan = ExperimentPlan::prefetcher_zoo(session.workloads(), prefetchers);
+    eprintln!(
+        "prefetcher zoo: {} workloads × {} mechanisms ({}) at {} instructions on {} thread(s)",
+        plan.workloads().len(),
+        prefetchers.len(),
+        prefetchers
+            .iter()
+            .map(|p| p.label())
+            .collect::<Vec<_>>()
+            .join(", "),
+        session.instructions(),
+        session.threads()
+    );
+    let results = session.run(&plan)?;
+    Ok(vec![
+        emit_prefetchers(&results, prefetchers)?,
+        crate::emit_report(session, "prefetchers", &results)?,
+    ])
+}
+
 /// Runs the AsmDB pipeline (memoized) over the session's workloads in
 /// parallel and returns each workload's bloat accounting, without any
 /// evaluation simulations — all Figure 7 needs.
@@ -255,12 +313,14 @@ pub fn emit_all(session: &Session) -> Result<Vec<PathBuf>, BenchError> {
 }
 
 /// Runs and emits one named figure (`fig1`, `fig7`–`fig11`, `scenarios`,
-/// `table1`), or every single-sweep figure for `all`. This is the entry
-/// point behind `swip bench --figure NAME` and the per-figure binaries.
+/// `table1`, `prefetchers`), or every single-sweep figure for `all`. This
+/// is the entry point behind `swip bench --figure NAME` and the
+/// per-figure binaries.
 pub fn run_figure(session: &Session, name: &str) -> Result<Vec<PathBuf>, BenchError> {
     let all_six = || ExperimentPlan::all_figures(session.workloads());
     match name {
         "all" | "allfigs" => emit_all(session),
+        "prefetchers" => run_prefetcher_sweep(session, &PrefetcherId::ALL),
         "table1" => Ok(vec![emit_table1()?]),
         "fig1" => Ok(vec![emit_fig1(&session.run(&all_six())?)?]),
         "fig7" => Ok(vec![emit_fig7(&bloat_sweep(session)?)?]),

@@ -38,14 +38,19 @@
 //! 5. AsmDB on the industry-standard FDP,
 //! 6. AsmDB with no insertion overhead on the industry-standard FDP.
 //!
+//! Beyond the paper six, the prefetcher zoo ([`ConfigId::Mana`],
+//! [`ConfigId::ShadowBtb`]) runs hardware instruction prefetchers behind
+//! the same plan machinery; `swip bench --prefetcher NAME` (or
+//! `--figure prefetchers`) sweeps the zoo on the industry-standard
+//! front-end and emits the Fig-9-style comparison TSV
+//! ([`figures::emit_prefetchers`]).
+//!
 //! Each figure has a dedicated binary (`fig1`, `fig7` … `fig11`,
 //! `table1`) that prints TSV rows to stdout and mirrors them into
 //! `target/experiments/<name>.tsv`; `allfigs` (or `swip bench`) produces
 //! the whole single-sweep evaluation at once. Scale knobs are explicit on
-//! [`SessionBuilder`]; the old `SWIP_INSTRUCTIONS` / `SWIP_STRIDE` /
-//! `SWIP_ASMDB` environment variables survive as a deprecated shim
-//! ([`SessionBuilder::from_env`], which also honors `SWIP_THREADS` and
-//! `SWIP_CACHE_DIR`).
+//! [`SessionBuilder`] and the `swip bench` flags; the deprecated `SWIP_*`
+//! environment shim has been removed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,7 +69,7 @@ mod report;
 mod results;
 mod session;
 
-pub use config::{AsmdbTuning, ConfigId};
+pub use config::{AsmdbTuning, ConfigId, ConfigParseError};
 pub use engine::EngineError;
 pub use measure::{
     append_measurement, measure_throughput, ConfigThroughput, ThroughputHistory, ThroughputReport,
@@ -97,7 +102,8 @@ impl fmt::Display for BenchError {
             BenchError::Io(e) => write!(f, "could not write experiment output: {e}"),
             BenchError::UnknownFigure(name) => write!(
                 f,
-                "unknown figure {name:?} (expected all, table1, fig1, fig7..fig11, or scenarios)"
+                "unknown figure {name:?} (expected all, table1, fig1, fig7..fig11, \
+                 scenarios, or prefetchers)"
             ),
         }
     }

@@ -4,6 +4,7 @@
 use std::fmt;
 
 use swip_report::PlanSpec;
+use swip_types::PrefetcherId;
 use swip_workloads::WorkloadSpec;
 
 use crate::ConfigId;
@@ -21,6 +22,8 @@ pub enum PlanError {
     UnknownWorkload(String),
     /// The spec named a configuration label that does not exist.
     UnknownConfig(String),
+    /// The spec named a prefetcher label that does not exist.
+    UnknownPrefetcher(String),
     /// The spec resolved to zero jobs.
     Empty,
 }
@@ -35,6 +38,11 @@ impl fmt::Display for PlanError {
                 f,
                 "unknown configuration {label:?} (expected one of: {})",
                 ConfigId::ALL.map(ConfigId::label).join(", ")
+            ),
+            PlanError::UnknownPrefetcher(label) => write!(
+                f,
+                "unknown prefetcher {label:?} (expected one of: {})",
+                PrefetcherId::label_list()
             ),
             PlanError::Empty => write!(f, "plan resolves to zero jobs"),
         }
@@ -75,20 +83,34 @@ impl ExperimentPlan {
         }
     }
 
-    /// The full six-configuration plan behind Figures 1 and 9–11.
+    /// The paper's six-configuration plan behind Figures 1 and 9–11.
     pub fn all_figures(workloads: Vec<WorkloadSpec>) -> Self {
-        Self::new(workloads, &ConfigId::ALL)
+        Self::new(workloads, &ConfigId::PAPER)
+    }
+
+    /// The prefetcher-zoo comparison plan: one industry-standard-front-end
+    /// configuration per mechanism in `prefetchers`.
+    pub fn prefetcher_zoo(workloads: Vec<WorkloadSpec>, prefetchers: &[PrefetcherId]) -> Self {
+        let configs: Vec<ConfigId> = prefetchers
+            .iter()
+            .map(|&p| ConfigId::for_prefetcher(p))
+            .collect();
+        Self::new(workloads, &configs)
     }
 
     /// Resolves a wire [`PlanSpec`] against the workloads `available` to
     /// this session. An empty axis in the spec selects everything on that
-    /// axis; names and labels are matched exactly.
+    /// axis (for configurations: the paper's six, [`ConfigId::PAPER`]);
+    /// names and labels are matched exactly. Prefetcher labels union their
+    /// canonical configuration ([`ConfigId::for_prefetcher`]) into the
+    /// selection — naming one therefore narrows an otherwise-empty
+    /// `configs` axis to exactly that mechanism's configuration.
     ///
     /// # Errors
     ///
-    /// [`PlanError::UnknownWorkload`] / [`PlanError::UnknownConfig`] for
-    /// names that do not resolve, and [`PlanError::Empty`] when the plan
-    /// would contain zero jobs.
+    /// [`PlanError::UnknownWorkload`] / [`PlanError::UnknownConfig`] /
+    /// [`PlanError::UnknownPrefetcher`] for names that do not resolve, and
+    /// [`PlanError::Empty`] when the plan would contain zero jobs.
     pub fn from_spec(spec: &PlanSpec, available: &[WorkloadSpec]) -> Result<Self, PlanError> {
         let workloads: Vec<WorkloadSpec> = if spec.workloads.is_empty() {
             available.to_vec()
@@ -104,17 +126,21 @@ impl ExperimentPlan {
                 })
                 .collect::<Result<_, _>>()?
         };
-        let configs: Vec<ConfigId> = if spec.configs.is_empty() {
-            ConfigId::ALL.to_vec()
+        let mut configs: Vec<ConfigId> = if spec.configs.is_empty() && spec.prefetchers.is_empty() {
+            ConfigId::PAPER.to_vec()
         } else {
             spec.configs
                 .iter()
                 .map(|label| {
-                    ConfigId::from_label(label)
-                        .ok_or_else(|| PlanError::UnknownConfig(label.clone()))
+                    ConfigId::from_label(label).map_err(|e| PlanError::UnknownConfig(e.label))
                 })
                 .collect::<Result<_, _>>()?
         };
+        for label in &spec.prefetchers {
+            let prefetcher = PrefetcherId::from_label(label)
+                .map_err(|e| PlanError::UnknownPrefetcher(e.label))?;
+            configs.push(ConfigId::for_prefetcher(prefetcher));
+        }
         let plan = Self::new(workloads, &configs);
         if plan.is_empty() {
             return Err(PlanError::Empty);
@@ -122,14 +148,16 @@ impl ExperimentPlan {
         Ok(plan)
     }
 
-    /// This plan as a wire [`PlanSpec`] (both axes always explicit).
-    /// Custom insertions are admission-time inputs, not part of the
+    /// This plan as a wire [`PlanSpec`] (both name axes always explicit).
+    /// Custom insertions are admission-time inputs, and prefetcher labels
+    /// are resolved into configurations — neither survives into the
     /// resolved plan, so the spec never carries them.
     pub fn to_spec(&self) -> PlanSpec {
         PlanSpec {
             workloads: self.workloads.iter().map(|w| w.name.clone()).collect(),
             configs: self.configs.iter().map(|c| c.label().to_string()).collect(),
             insertions: Vec::new(),
+            prefetchers: Vec::new(),
         }
     }
 
@@ -198,15 +226,16 @@ mod tests {
     #[test]
     fn spec_resolution_round_trips() {
         let available = cvp1_suite(1_000)[..4].to_vec();
-        // Empty axes select everything.
+        // Empty axes select the paper's default sweep.
         let plan = ExperimentPlan::from_spec(&PlanSpec::default(), &available).unwrap();
         assert_eq!(plan.workloads().len(), 4);
-        assert_eq!(plan.configs(), &ConfigId::ALL);
+        assert_eq!(plan.configs(), &ConfigId::PAPER);
         // Named axes resolve exactly, and to_spec round-trips.
         let spec = PlanSpec {
             workloads: vec![available[1].name.clone()],
             configs: vec!["ftq2_fdp".into(), "ftq24_fdp".into()],
             insertions: Vec::new(),
+            prefetchers: Vec::new(),
         };
         let plan = ExperimentPlan::from_spec(&spec, &available).unwrap();
         assert_eq!(plan.workloads().len(), 1);
@@ -216,12 +245,48 @@ mod tests {
     }
 
     #[test]
+    fn prefetcher_labels_resolve_to_zoo_configs() {
+        let available = cvp1_suite(1_000)[..2].to_vec();
+        // Prefetchers alone narrow the plan to their configurations.
+        let spec = PlanSpec {
+            workloads: Vec::new(),
+            configs: Vec::new(),
+            insertions: Vec::new(),
+            prefetchers: vec!["mana".into(), "shadow-btb".into()],
+        };
+        let plan = ExperimentPlan::from_spec(&spec, &available).unwrap();
+        assert_eq!(plan.configs(), &[ConfigId::Mana, ConfigId::ShadowBtb]);
+        assert!(!plan.wants_asmdb());
+        // Prefetchers union with explicit configs, canonical order kept.
+        let spec = PlanSpec {
+            workloads: Vec::new(),
+            configs: vec!["ftq24_fdp".into()],
+            insertions: Vec::new(),
+            prefetchers: vec!["asmdb".into()],
+        };
+        let plan = ExperimentPlan::from_spec(&spec, &available).unwrap();
+        assert_eq!(plan.configs(), &[ConfigId::Fdp, ConfigId::AsmdbFdp]);
+        // The full zoo helper holds the front-end constant.
+        let plan = ExperimentPlan::prefetcher_zoo(available, &PrefetcherId::ALL);
+        assert_eq!(
+            plan.configs(),
+            &[
+                ConfigId::Fdp,
+                ConfigId::AsmdbFdp,
+                ConfigId::Mana,
+                ConfigId::ShadowBtb
+            ]
+        );
+    }
+
+    #[test]
     fn spec_resolution_rejects_unknown_names() {
         let available = cvp1_suite(1_000)[..2].to_vec();
         let spec = PlanSpec {
             workloads: vec!["nope".into()],
             configs: vec![],
             insertions: Vec::new(),
+            prefetchers: Vec::new(),
         };
         assert_eq!(
             ExperimentPlan::from_spec(&spec, &available).unwrap_err(),
@@ -231,10 +296,20 @@ mod tests {
             workloads: vec![],
             configs: vec!["turbo".into()],
             insertions: Vec::new(),
+            prefetchers: Vec::new(),
         };
         let err = ExperimentPlan::from_spec(&spec, &available).unwrap_err();
         assert_eq!(err, PlanError::UnknownConfig("turbo".into()));
         assert!(err.to_string().contains("ftq24_asmdb_noov"), "{err}");
+        let spec = PlanSpec {
+            workloads: vec![],
+            configs: vec![],
+            insertions: Vec::new(),
+            prefetchers: vec!["markov".into()],
+        };
+        let err = ExperimentPlan::from_spec(&spec, &available).unwrap_err();
+        assert_eq!(err, PlanError::UnknownPrefetcher("markov".into()));
+        assert!(err.to_string().contains("shadow_btb"), "{err}");
         assert_eq!(
             ExperimentPlan::from_spec(&PlanSpec::default(), &[]).unwrap_err(),
             PlanError::Empty

@@ -23,7 +23,13 @@ use crate::{ConfigId, Session, WorkloadResults};
 fn workload_report(session: &Session, r: &WorkloadResults, job_seconds: f64) -> WorkloadReport {
     let configs: Vec<ConfigReport> = ConfigId::ALL
         .iter()
-        .filter_map(|&id| r.get(id).map(|sim| ConfigReport::from_sim(id.label(), sim)))
+        .filter_map(|&id| {
+            r.get(id).map(|sim| {
+                let mut c = ConfigReport::from_sim(id.label(), sim);
+                c.prefetcher = id.prefetcher().label().to_string();
+                c
+            })
+        })
         .collect();
     let ran_asmdb = ConfigId::ALL
         .iter()
@@ -178,9 +184,10 @@ mod tests {
         let r = &results[0];
         let w = report.workload(r.name()).unwrap();
         assert_eq!(w.configs.len(), 6);
-        for id in ConfigId::ALL {
+        for id in ConfigId::PAPER {
             let sim = r.report(id);
             let c = w.config(id.label()).unwrap();
+            assert_eq!(c.prefetcher, id.prefetcher().label());
             assert_eq!(c.counter("cycles"), Some(sim.cycles));
             assert_eq!(c.counter("instructions"), Some(sim.instructions));
             assert_eq!(

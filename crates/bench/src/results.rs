@@ -16,7 +16,7 @@ use crate::ConfigId;
 pub struct WorkloadResults {
     pub(crate) name: String,
     pub(crate) bloat: Option<RewriteReport>,
-    pub(crate) reports: [Option<SimReport>; 6],
+    pub(crate) reports: [Option<SimReport>; 8],
     pub(crate) job_seconds: f64,
 }
 
@@ -93,6 +93,16 @@ impl WorkloadResults {
     /// AsmDB, no insertion overhead, industry-standard FDP.
     pub fn asmdb_fdp_noov(&self) -> &SimReport {
         self.report(ConfigId::AsmdbFdpNoov)
+    }
+
+    /// MANA-style record-and-replay on the industry-standard FDP.
+    pub fn mana(&self) -> &SimReport {
+        self.report(ConfigId::Mana)
+    }
+
+    /// Shadow-branch BTB pre-fill on the industry-standard FDP.
+    pub fn shadow_btb(&self) -> &SimReport {
+        self.report(ConfigId::ShadowBtb)
     }
 
     /// The five Figure-1 series as speedups over the conservative baseline,

@@ -73,10 +73,9 @@ impl From<ConfigError> for BuildError {
 
 /// Builder for a [`Session`]: scale, tuning, parallelism, and caching.
 ///
-/// This replaces the old env-var-only `Harness::from_env`; the `SWIP_*`
-/// environment variables survive as a thin compatibility shim
-/// ([`SessionBuilder::from_env`]) that is deprecated in favor of explicit
-/// knobs (`swip bench --instructions N --threads K`).
+/// Knobs are explicit (`swip bench --instructions N --threads K`); the
+/// old env-var-only `Harness::from_env` and its deprecated `SWIP_*` shim
+/// are gone.
 #[derive(Clone, Debug)]
 pub struct SessionBuilder {
     instructions: u64,
@@ -152,76 +151,6 @@ impl SessionBuilder {
     pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.cache_dir = Some(dir.into());
         self
-    }
-
-    /// The deprecated `SWIP_*` environment shim: layers
-    /// `SWIP_INSTRUCTIONS`, `SWIP_STRIDE`, `SWIP_THREADS`, `SWIP_ASMDB`,
-    /// and `SWIP_CACHE_DIR` over the defaults. Unparsable values keep the
-    /// default and report the offending variable on stderr.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use explicit SessionBuilder knobs (or the `swip bench` flags) \
-                instead of SWIP_* environment variables"
-    )]
-    pub fn from_env() -> Self {
-        #[allow(deprecated)] // the shim is one deprecated surface, not two
-        let (builder, warnings) = Self::default().apply_env(std::env::vars());
-        for w in &warnings {
-            eprintln!("warning: {w}");
-        }
-        builder
-    }
-
-    /// Applies `SWIP_*` pairs to this builder, returning the updated
-    /// builder and one warning per variable that failed to parse (naming
-    /// the variable and the rejected value). Factored out of
-    /// [`SessionBuilder::from_env`] so the parsing is testable without
-    /// mutating process-global state.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use explicit SessionBuilder knobs (or the `swip bench` flags) \
-                instead of SWIP_* environment variables"
-    )]
-    pub fn apply_env(
-        mut self,
-        vars: impl IntoIterator<Item = (String, String)>,
-    ) -> (Self, Vec<String>) {
-        let mut warnings = Vec::new();
-        for (key, value) in vars {
-            match key.as_str() {
-                "SWIP_INSTRUCTIONS" => match value.replace('_', "").parse() {
-                    Ok(n) => self.instructions = n,
-                    Err(_) => warnings.push(format!(
-                        "SWIP_INSTRUCTIONS={value:?} is not a number; keeping {}",
-                        self.instructions
-                    )),
-                },
-                "SWIP_STRIDE" => match value.parse() {
-                    Ok(n) => self.stride = n,
-                    Err(_) => warnings.push(format!(
-                        "SWIP_STRIDE={value:?} is not a number; keeping {}",
-                        self.stride
-                    )),
-                },
-                "SWIP_THREADS" => match value.parse() {
-                    Ok(n) => self.threads = n,
-                    Err(_) => warnings.push(format!(
-                        "SWIP_THREADS={value:?} is not a number; keeping {}",
-                        self.threads
-                    )),
-                },
-                "SWIP_ASMDB" => match AsmdbTuning::parse(&value) {
-                    Some(t) => self.asmdb = t.config(),
-                    None => warnings.push(format!(
-                        "SWIP_ASMDB={value:?} is not one of default/aggressive/wide; \
-                         keeping the current tuning"
-                    )),
-                },
-                "SWIP_CACHE_DIR" => self.cache_dir = Some(PathBuf::from(value)),
-                _ => {}
-            }
-        }
-        (self, warnings)
     }
 
     /// Validates the knobs and builds the session.
@@ -439,6 +368,9 @@ impl Session {
         let sim = Simulator::new(id.sim_config());
         let report = match id {
             ConfigId::Base | ConfigId::Fdp => sim.run(&self.trace(spec)),
+            // Zoo configurations run the original trace; the hardware
+            // prefetcher is selected by `sim_config().prefetcher`.
+            ConfigId::Mana | ConfigId::ShadowBtb => sim.run(&self.trace(spec)),
             ConfigId::AsmdbCons | ConfigId::AsmdbFdp => sim.run(&self.asmdb(spec).rewritten),
             ConfigId::AsmdbConsNoov | ConfigId::AsmdbFdpNoov => {
                 // The memoized pipeline output carries a prebuilt shared
@@ -502,12 +434,6 @@ impl fmt::Debug for Session {
 mod tests {
     use super::*;
 
-    fn env<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Iterator<Item = (String, String)> + 'a {
-        pairs
-            .iter()
-            .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
-    }
-
     #[test]
     fn builder_rejects_zero_knobs_with_typed_errors() {
         assert_eq!(
@@ -551,56 +477,6 @@ mod tests {
             s.asmdb_config().min_misses,
             AsmdbConfig::default().min_misses
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn env_shim_applies_valid_values() {
-        let (b, warnings) = SessionBuilder::new().apply_env(env(&[
-            ("SWIP_INSTRUCTIONS", "50_000"),
-            ("SWIP_STRIDE", "4"),
-            ("SWIP_THREADS", "3"),
-            ("SWIP_ASMDB", "aggressive"),
-            ("SWIP_CACHE_DIR", "/tmp/swip-cache"),
-            ("UNRELATED", "ignored"),
-        ]));
-        assert!(warnings.is_empty(), "{warnings:?}");
-        let s = b.build().unwrap();
-        assert_eq!(s.instructions(), 50_000);
-        assert_eq!(s.stride(), 4);
-        assert_eq!(s.threads(), 3);
-        assert_eq!(
-            s.asmdb_config().max_sites_per_target,
-            AsmdbConfig::aggressive().max_sites_per_target
-        );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn env_shim_names_the_variable_that_failed() {
-        let (b, warnings) = SessionBuilder::new().apply_env(env(&[
-            ("SWIP_INSTRUCTIONS", "lots"),
-            ("SWIP_STRIDE", "-1"),
-            ("SWIP_ASMDB", "turbo"),
-        ]));
-        assert_eq!(warnings.len(), 3);
-        assert!(warnings[0].contains("SWIP_INSTRUCTIONS") && warnings[0].contains("lots"));
-        assert!(warnings[1].contains("SWIP_STRIDE"));
-        assert!(warnings[2].contains("SWIP_ASMDB") && warnings[2].contains("turbo"));
-        // Defaults survive the bad values.
-        let s = b.build().unwrap();
-        assert_eq!(s.instructions(), 300_000);
-        assert_eq!(s.stride(), 1);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn env_shim_zero_stride_becomes_a_typed_build_error() {
-        // The old harness silently clamped SWIP_STRIDE=0 to 1; the builder
-        // rejects it instead.
-        let (b, warnings) = SessionBuilder::new().apply_env(env(&[("SWIP_STRIDE", "0")]));
-        assert!(warnings.is_empty());
-        assert_eq!(b.build().unwrap_err(), BuildError::ZeroStride);
     }
 
     #[test]

@@ -23,13 +23,16 @@
 //!   coverage predictions embedded in a bench `report.json` against its
 //!   measured prefetch counters; same exit convention (1 = divergence
 //!   above the threshold, 2 = unreadable/incomparable report);
-//! * `swip bench [--figure NAME] [--instructions N] [--stride N]
-//!   [--threads K] [--asmdb TUNING] [--cache-dir DIR] [--measure]` — run
-//!   a paper figure (or `all` of them) through the parallel experiment
-//!   engine; the `all` sweep also writes a structured `report.json` next
-//!   to the TSVs; `--measure` instead times the simulator over the sweep
-//!   and appends an entry to the `BENCH_throughput.json` history (the
-//!   tracked hot-path metric, schema v2);
+//! * `swip bench [--figure NAME] [--prefetcher NAME]... [--instructions N]
+//!   [--stride N] [--threads K] [--asmdb TUNING] [--cache-dir DIR]
+//!   [--measure]` — run a paper figure (or `all` of them) through the
+//!   parallel experiment engine; the `all` sweep also writes a structured
+//!   `report.json` next to the TSVs; `--prefetcher` (repeatable, one of
+//!   `fdp`/`asmdb`/`mana`/`shadow_btb`) runs the prefetcher-zoo comparison
+//!   sweep over the named mechanisms instead; `--measure` instead times
+//!   the simulator over the sweep and appends an entry to the
+//!   `BENCH_throughput.json` history (the tracked hot-path metric, schema
+//!   v2);
 //! * `swip report FILE` — summarize a `report.json`; `swip report --diff
 //!   A B` — print the counter-level differences between two run reports
 //!   and exit like `diff(1)`: 0 when they match, 1 when they differ, 2
@@ -117,8 +120,12 @@ pub enum Command {
     /// Run benchmark figures through the parallel experiment engine.
     Bench {
         /// Figure to emit (`all`, `fig1`, `fig7`–`fig11`, `scenarios`,
-        /// `table1`).
+        /// `table1`, `prefetchers`).
         figure: String,
+        /// Prefetchers for the zoo comparison sweep (`--prefetcher` flags,
+        /// repeatable). Non-empty selects the `prefetchers` figure over
+        /// exactly these mechanisms.
+        prefetchers: Vec<swip_types::PrefetcherId>,
         /// Dynamic instruction budget per workload.
         instructions: u64,
         /// Workload suite stride (1 = all 48, 8 = every 8th, …).
@@ -184,7 +191,8 @@ USAGE:
   swip analyze FILE [--json] [--coverage]
                                    (exits 0 clean / 1 errors / 2 unreadable)
   swip analyze --predict-vs REPORT.json [--threshold X]
-  swip bench [--figure NAME] [--instructions N] [--stride N] [--threads K]
+  swip bench [--figure NAME] [--prefetcher fdp|asmdb|mana|shadow_btb]...
+             [--instructions N] [--stride N] [--threads K]
              [--asmdb default|aggressive|wide] [--cache-dir DIR] [--measure]
   swip report FILE
   swip report --diff FILE FILE     (exits 0 match / 1 differ / 2 unreadable)
@@ -362,6 +370,7 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
         }
         "bench" => {
             let mut figure = "all".to_string();
+            let mut prefetchers = Vec::new();
             let mut instructions = 300_000u64;
             let mut stride = 1usize;
             let mut threads = None;
@@ -371,6 +380,13 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
             while let Some(a) = it.next() {
                 match a {
                     "--figure" => figure = take_value(&mut it, a)?.to_string(),
+                    "--prefetcher" => {
+                        let v = take_value(&mut it, a)?;
+                        prefetchers.push(
+                            swip_types::PrefetcherId::from_label(v)
+                                .map_err(|e| UsageError(e.to_string()))?,
+                        );
+                    }
                     "--instructions" => instructions = parse_num(take_value(&mut it, a)?)?,
                     "--stride" => stride = parse_num(take_value(&mut it, a)?)? as usize,
                     "--threads" => threads = Some(parse_num(take_value(&mut it, a)?)? as usize),
@@ -386,6 +402,7 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
             }
             Ok(Command::Bench {
                 figure,
+                prefetchers,
                 instructions,
                 stride,
                 threads,
@@ -626,6 +643,7 @@ pub fn execute(cmd: Command) -> Result<u8, Box<dyn Error>> {
         }
         Command::Bench {
             figure,
+            prefetchers,
             instructions,
             stride,
             threads,
@@ -656,6 +674,8 @@ pub fn execute(cmd: Command) -> Result<u8, Box<dyn Error>> {
                     report.total_seconds,
                     report.total_instrs_per_sec()
                 );
+            } else if !prefetchers.is_empty() {
+                swip_bench::figures::run_prefetcher_sweep(&session, &prefetchers)?;
             } else {
                 swip_bench::figures::run_figure(&session, &figure)?;
             }
@@ -909,6 +929,7 @@ mod tests {
             parse(&["bench"]),
             Ok(Command::Bench {
                 figure: "all".into(),
+                prefetchers: vec![],
                 instructions: 300_000,
                 stride: 1,
                 threads: None,
@@ -935,6 +956,7 @@ mod tests {
             ]),
             Ok(Command::Bench {
                 figure: "fig1".into(),
+                prefetchers: vec![],
                 instructions: 20_000,
                 stride: 16,
                 threads: Some(4),
@@ -954,6 +976,7 @@ mod tests {
             ]),
             Ok(Command::Bench {
                 figure: "all".into(),
+                prefetchers: vec![],
                 instructions: 2_000,
                 stride: 24,
                 threads: None,
@@ -962,6 +985,33 @@ mod tests {
                 measure: true
             })
         );
+        // `--prefetcher` is repeatable, accepts dashes, and is validated
+        // at parse time with the typed label error.
+        assert_eq!(
+            parse(&[
+                "bench",
+                "--prefetcher",
+                "mana",
+                "--prefetcher",
+                "shadow-btb"
+            ]),
+            Ok(Command::Bench {
+                figure: "all".into(),
+                prefetchers: vec![
+                    swip_types::PrefetcherId::Mana,
+                    swip_types::PrefetcherId::ShadowBtb
+                ],
+                instructions: 300_000,
+                stride: 1,
+                threads: None,
+                asmdb: swip_bench::AsmdbTuning::Default,
+                cache_dir: None,
+                measure: false
+            })
+        );
+        let err = parse(&["bench", "--prefetcher", "markov"]).unwrap_err();
+        assert!(err.0.contains("markov"), "{err}");
+        assert!(err.0.contains("shadow_btb"), "{err}");
     }
 
     #[test]
@@ -999,6 +1049,7 @@ mod tests {
     fn bench_with_zero_knobs_is_a_build_error() {
         let err = execute(Command::Bench {
             figure: "fig8".into(),
+            prefetchers: vec![],
             instructions: 1_000,
             stride: 0,
             threads: None,
@@ -1102,6 +1153,7 @@ mod tests {
             coverage: Vec::new(),
             configs: vec![swip_report::ConfigReport {
                 config: "ftq2_fdp".into(),
+                prefetcher: String::new(),
                 counters: vec![("cycles".into(), 100)],
                 values: vec![],
             }],

@@ -2,6 +2,7 @@
 
 use swip_cache::{ConfigError, HierarchyConfig};
 use swip_frontend::{FrontendConfig, TimelineConfig};
+use swip_types::PrefetcherId;
 
 use crate::BackendConfig;
 
@@ -25,6 +26,14 @@ pub struct SimConfig {
     /// Record a cycle-sampled scenario timeline in the report (telemetry;
     /// `None` disables sampling and costs nothing).
     pub timeline: Option<TimelineConfig>,
+    /// Which instruction-prefetch mechanism the front-end runs
+    /// (DESIGN.md §16). [`PrefetcherId::Fdp`] and [`PrefetcherId::Asmdb`]
+    /// select no hardware mechanism — FDP run-ahead is intrinsic to the
+    /// FTQ, and AsmDB's prefetches arrive via the rewritten trace or hint
+    /// table the caller installs. [`PrefetcherId::Mana`] and
+    /// [`PrefetcherId::ShadowBtb`] install the corresponding hardware
+    /// prefetcher on the front-end.
+    pub prefetcher: PrefetcherId,
 }
 
 impl SimConfig {
@@ -38,6 +47,7 @@ impl SimConfig {
             max_cycles_per_instr: 200,
             collect_line_profile: false,
             timeline: None,
+            prefetcher: PrefetcherId::Fdp,
         }
     }
 
@@ -61,6 +71,7 @@ impl SimConfig {
             max_cycles_per_instr: 500,
             collect_line_profile: false,
             timeline: None,
+            prefetcher: PrefetcherId::Fdp,
         }
     }
 

@@ -106,6 +106,19 @@ impl Simulator {
         preload: Option<(Arc<HintTable>, PreloadConfig)>,
     ) -> SimReport {
         let mut frontend = Frontend::new(self.config.frontend.clone());
+        // The hardware mechanisms of the prefetcher zoo (DESIGN.md §16).
+        // Fdp needs no mechanism (run-ahead is intrinsic to the FTQ) and
+        // Asmdb's prefetches arrive via the rewritten trace or the hint
+        // table installed below.
+        match self.config.prefetcher {
+            swip_types::PrefetcherId::Fdp | swip_types::PrefetcherId::Asmdb => {}
+            swip_types::PrefetcherId::Mana => {
+                frontend.set_prefetcher(Box::new(swip_frontend::ManaPrefetcher::new()));
+            }
+            swip_types::PrefetcherId::ShadowBtb => {
+                frontend.set_prefetcher(Box::new(swip_frontend::ShadowBtbPrefetcher::new()));
+            }
+        }
         if let Some(table) = hints {
             frontend.set_hint_table(table);
         }

@@ -11,6 +11,9 @@ use swip_types::{Addr, Cycle, InstrKind, Instruction, SeqNum};
 
 use crate::entry::{FtqEntry, LineState};
 use crate::hints::HintTable;
+use crate::prefetch::{
+    AsmdbHintPrefetcher, FdpPrefetcher, InstructionPrefetcher, PreloadPrefetcher,
+};
 use crate::stats::{FtqStats, Scenario};
 use crate::timeline::{ScenarioTimeline, TimelineConfig};
 use crate::{FrontendConfig, PreloadConfig};
@@ -110,32 +113,13 @@ pub struct Frontend {
     pending_lines: usize,
     /// Branches the front-end mispredicted, pending resolution.
     mispredicted: HashSet<SeqNum>,
-    /// No-overhead software prefetch hints: trigger PC → targets. Shared
-    /// (not cloned) across the runs of a sweep; `None` when no hints are
-    /// installed so non-hinted configurations skip the per-instruction hash.
-    hints: Option<Arc<HintTable>>,
-    /// Metadata preloading (§VI extension): the LLC-side table, the small
-    /// L1-side cache (insertion-ordered for FIFO replacement), and metadata
-    /// requests in flight.
-    preload: Option<PreloadState>,
+    /// The instruction-prefetch mechanism plugged in at the L1I boundary
+    /// (DESIGN.md §16). Defaults to [`FdpPrefetcher`], whose hooks are
+    /// no-ops — the decoupled FTQ run-ahead is the prefetcher.
+    prefetcher: Box<dyn InstructionPrefetcher>,
     /// Optional strided scenario sampler (telemetry, off by default).
     timeline: Option<ScenarioTimeline>,
     stats: FtqStats,
-}
-
-/// State of the metadata-preloading extension.
-struct PreloadState {
-    config: PreloadConfig,
-    /// The LLC-side table, preloaded at program start: trigger line number →
-    /// prefetch targets. Shared (not cloned) across the runs of a sweep.
-    llc_table: Arc<HintTable>,
-    /// The L1-side metadata cache (FIFO over trigger line numbers).
-    l1_cache: VecDeque<u64>,
-    /// Triggers with an outstanding metadata request: line → ready cycle.
-    pending: HashMap<u64, Cycle>,
-    /// Reused per-cycle scratch for the drained trigger lines (avoids a
-    /// fresh `Vec` allocation on every `preload_drain` call).
-    ready: Vec<u64>,
 }
 
 impl fmt::Debug for Frontend {
@@ -164,8 +148,7 @@ impl Frontend {
             tracked_lines: HashMap::new(),
             pending_lines: 0,
             mispredicted: HashSet::new(),
-            hints: None,
-            preload: None,
+            prefetcher: Box::new(FdpPrefetcher::new()),
             timeline: None,
             stats: FtqStats::default(),
             config,
@@ -203,8 +186,28 @@ impl Frontend {
     /// Installs a shared no-overhead software-prefetch hint table (keyed by
     /// trigger PC, as built by [`HintTable::from_pc_map`]). The `Arc` is
     /// stored as-is — no per-run copy is made.
+    ///
+    /// Equivalent to `set_prefetcher(Box::new(AsmdbHintPrefetcher::new(table)))`.
     pub fn set_hint_table(&mut self, table: Arc<HintTable>) {
-        self.hints = Some(table);
+        self.prefetcher = Box::new(AsmdbHintPrefetcher::new(table));
+    }
+
+    /// Installs an arbitrary [`InstructionPrefetcher`] implementation,
+    /// replacing whatever mechanism was active (the default is
+    /// [`FdpPrefetcher`]).
+    pub fn set_prefetcher(&mut self, prefetcher: Box<dyn InstructionPrefetcher>) {
+        self.prefetcher = prefetcher;
+    }
+
+    /// The active prefetch mechanism (for snapshot inspection).
+    pub fn prefetcher(&self) -> &dyn InstructionPrefetcher {
+        self.prefetcher.as_ref()
+    }
+
+    /// Mutable access to the active prefetch mechanism (tests use this to
+    /// toggle [`InstructionPrefetcher::set_enabled`] mid-run).
+    pub fn prefetcher_mut(&mut self) -> &mut dyn InstructionPrefetcher {
+        self.prefetcher.as_mut()
     }
 
     /// Enables the §VI metadata-preloading extension: `metadata` (trigger
@@ -228,14 +231,10 @@ impl Frontend {
     /// table (keyed by trigger line number, as built by
     /// [`HintTable::from_line_map`]). The `Arc` is stored as-is — no
     /// per-run copy is made.
+    ///
+    /// Equivalent to `set_prefetcher(Box::new(PreloadPrefetcher::new(table, config)))`.
     pub fn set_preload_table(&mut self, table: Arc<HintTable>, config: PreloadConfig) {
-        self.preload = Some(PreloadState {
-            config,
-            llc_table: table,
-            l1_cache: VecDeque::new(),
-            pending: HashMap::new(),
-            ready: Vec::new(),
-        });
+        self.prefetcher = Box::new(PreloadPrefetcher::new(table, config));
     }
 
     /// The front-end configuration.
@@ -291,7 +290,7 @@ impl Frontend {
         }
         self.fill(now, trace, mem);
         self.issue_fetches(now, mem);
-        self.preload_drain(now, mem);
+        self.prefetcher.tick(now, mem, &mut self.stats);
         // Pre-decode runs after fetch-issue so entries that complete
         // instantly (aliasing an already-fetched line) are still pre-decoded
         // before they can reach decode — promotion is gated on it.
@@ -419,16 +418,10 @@ impl Frontend {
             let seq = self.cursor;
             let instr = &instrs[seq as usize];
 
-            // No-overhead software prefetch hints fire at FTQ insert. The
-            // table lookup borrows the shared targets slice — no clone.
-            if let Some(table) = &self.hints {
-                if let Some(targets) = table.get(instr.pc.raw()) {
-                    for t in targets {
-                        mem.prefetch_instr(t.line(), now);
-                        self.stats.swpf_hinted.incr();
-                    }
-                }
-            }
+            // Prefetcher training fires at FTQ insert (hook 1, DESIGN.md
+            // §16): AsmDB hints issue here, MANA observes successions.
+            self.prefetcher
+                .train_on_fetch(instr.pc, now, mem, &mut self.stats);
 
             entry.count += 1;
             self.cursor += 1;
@@ -447,10 +440,20 @@ impl Frontend {
                 self.branch.commit_spec(instr.pc, kind, target, taken);
             }
             match (prediction, instr.kind) {
-                (None, InstrKind::Branch { taken: true, .. }) => {
+                (
+                    None,
+                    InstrKind::Branch {
+                        kind,
+                        target,
+                        taken: true,
+                    },
+                ) => {
                     // The BTB does not know this taken branch: the front-end
                     // would run straight past it. Discovered at pre-decode
-                    // (PFC) or, without PFC, at execute.
+                    // (PFC) or, without PFC, at execute. Shadow-branch
+                    // prefetching records the miss here (hook 2).
+                    self.prefetcher
+                        .train_on_btb_miss(instr.pc, kind, target, now);
                     self.mispredicted.insert(seq);
                     entry.mispredicted_seq = Some(seq);
                     if self.config.enable_pfc {
@@ -544,7 +547,11 @@ impl Frontend {
                     self.stats.aliased_line_requests.incr();
                     continue; // aliasing consumes no cache port
                 }
-                preload_check(&mut self.preload, &mut self.stats, *line, now, mem);
+                // Hook 3: the prefetcher sees every demand line fetch just
+                // before the L1-I access (metadata-directed mechanisms and
+                // shadow-branch replay key off the miss stream).
+                self.prefetcher
+                    .issue_prefetch(*line, now, mem, &mut self.branch, &mut self.stats);
                 let result = mem.fetch_instr(*line, now);
                 if result.complete_at == Cycle::MAX {
                     // MSHR full: port consumed, retry next cycle.
@@ -563,40 +570,6 @@ impl Frontend {
                 budget -= 1;
             }
         }
-    }
-
-    /// Completes outstanding metadata requests: installs their entries in
-    /// the L1-side metadata cache and fires their prefetches.
-    fn preload_drain(&mut self, now: Cycle, mem: &mut MemoryHierarchy) {
-        let Some(preload) = self.preload.as_mut() else {
-            return;
-        };
-        // Reuse the state's scratch buffer for the drained lines; the
-        // shared table lookup borrows its targets slice — no clones.
-        let mut ready = std::mem::take(&mut preload.ready);
-        ready.clear();
-        ready.extend(
-            preload
-                .pending
-                .iter()
-                .filter(|&(_, &at)| at <= now)
-                .map(|(&l, _)| l),
-        );
-        for &line in &ready {
-            preload.pending.remove(&line);
-            if preload.l1_cache.len() >= preload.config.l1_entries {
-                preload.l1_cache.pop_front();
-            }
-            preload.l1_cache.push_back(line);
-            if let Some(targets) = preload.llc_table.get(line) {
-                for t in targets {
-                    if mem.prefetch_instr(t.line(), now).is_some() {
-                        self.stats.swpf_preloaded.incr();
-                    }
-                }
-            }
-        }
-        preload.ready = ready;
     }
 
     /// Classifies the FTQ state for this cycle and maintains the Fig-9/10
@@ -765,38 +738,6 @@ impl Frontend {
 /// re-enqueue the trace from the start.
 fn cursor_in_bounds(cursor: SeqNum, trace_len: usize) -> bool {
     cursor < trace_len as u64
-}
-
-/// Consults the metadata structures for an L1-I access to `line`: an
-/// L1-side hit fires the prefetches immediately; otherwise a metadata
-/// request is sent to the LLC-side table (if it has an entry).
-fn preload_check(
-    preload: &mut Option<PreloadState>,
-    stats: &mut FtqStats,
-    line: swip_types::LineAddr,
-    now: Cycle,
-    mem: &mut MemoryHierarchy,
-) {
-    let Some(p) = preload.as_mut() else {
-        return;
-    };
-    let key = line.number();
-    if !p.llc_table.contains(key) {
-        return;
-    }
-    if p.l1_cache.contains(&key) {
-        stats.preload_l1_hits.incr();
-        if let Some(targets) = p.llc_table.get(key) {
-            for t in targets {
-                if mem.prefetch_instr(t.line(), now).is_some() {
-                    stats.swpf_preloaded.incr();
-                }
-            }
-        }
-    } else if !p.pending.contains_key(&key) {
-        stats.preload_metadata_requests.incr();
-        p.pending.insert(key, now + p.config.metadata_latency);
-    }
 }
 
 #[cfg(test)]

@@ -53,6 +53,7 @@ mod config;
 mod entry;
 mod frontend;
 mod hints;
+mod prefetch;
 mod stats;
 mod timeline;
 
@@ -60,5 +61,9 @@ pub use config::{FrontendConfig, PreloadConfig};
 pub use entry::{FtqEntry, LineState};
 pub use frontend::{DecodedInstr, Frontend, Ftq};
 pub use hints::HintTable;
+pub use prefetch::{
+    AsmdbHintPrefetcher, FdpPrefetcher, InstructionPrefetcher, ManaPrefetcher, PrefetcherSnapshot,
+    PreloadPrefetcher, ShadowBtbPrefetcher,
+};
 pub use stats::{FtqStats, Scenario};
 pub use timeline::{ScenarioTimeline, TimelineConfig, TimelineSample};

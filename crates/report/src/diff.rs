@@ -180,6 +180,7 @@ mod tests {
             coverage: Vec::new(),
             configs: vec![ConfigReport {
                 config: "ftq2_fdp".into(),
+                prefetcher: "fdp".into(),
                 counters: vec![("cycles".into(), cycles), ("instructions".into(), 1000)],
                 values: vec![],
             }],
@@ -214,6 +215,7 @@ mod tests {
         b.workloads[0].configs[0].counters.push(("extra".into(), 7));
         b.workloads[0].configs.push(ConfigReport {
             config: "ftq24_fdp".into(),
+            prefetcher: "fdp".into(),
             counters: vec![],
             values: vec![],
         });

@@ -10,8 +10,12 @@
 //! {"workloads": ["secret_srv12"], "configs": ["ftq2_fdp", "ftq24_fdp"]}
 //! ```
 //!
-//! Both keys are optional; an omitted (or empty) axis means "all of them".
-//! `{}` is therefore the full sweep the serving session was scoped to.
+//! All keys are optional; an omitted (or empty) axis means "all of them".
+//! `{}` is therefore the default sweep the serving session was scoped to.
+//! A `prefetchers` key selects prefetcher-zoo mechanisms by label
+//! (`"fdp"`, `"asmdb"`, `"mana"`, `"shadow_btb"`); the bench layer
+//! resolves each into its canonical configuration and unions it with the
+//! `configs` axis.
 //!
 //! A spec may additionally carry custom prefetch insertions to be
 //! *statically admitted* (verified against each selected workload's CFG by
@@ -153,6 +157,9 @@ pub struct PlanSpec {
     /// Custom insertions to statically admit against every selected
     /// workload (empty = none; execution is unaffected either way).
     pub insertions: Vec<InsertionSpec>,
+    /// Prefetcher labels (`fdp`, `mana`, …); each resolves to its
+    /// canonical configuration and unions with `configs` (empty = none).
+    pub prefetchers: Vec<String>,
 }
 
 impl PlanSpec {
@@ -194,10 +201,11 @@ impl PlanSpec {
             let target = match key.as_str() {
                 "workloads" => &mut spec.workloads,
                 "configs" => &mut spec.configs,
+                "prefetchers" => &mut spec.prefetchers,
                 other => {
                     return Err(PlanSpecError::Schema(format!(
                         "unknown key {other:?} (expected \"workloads\" / \"configs\" / \
-                         \"insertions\")"
+                         \"prefetchers\" / \"insertions\")"
                     )))
                 }
             };
@@ -221,13 +229,17 @@ impl PlanSpec {
     }
 
     /// The spec as a [`Json`] object (the canonical submission body). The
-    /// `insertions` key appears only when custom insertions are present.
+    /// `prefetchers` and `insertions` keys appear only when non-empty, so
+    /// v1 consumers never see them on a paper-sweep spec.
     pub fn to_json_value(&self) -> Json {
         let arr = |items: &[String]| Json::Arr(items.iter().cloned().map(Json::Str).collect());
         let mut pairs = vec![
             ("workloads".into(), arr(&self.workloads)),
             ("configs".into(), arr(&self.configs)),
         ];
+        if !self.prefetchers.is_empty() {
+            pairs.push(("prefetchers".into(), arr(&self.prefetchers)));
+        }
         if !self.insertions.is_empty() {
             pairs.push((
                 "insertions".into(),
@@ -255,10 +267,29 @@ mod tests {
             workloads: vec!["secret_srv12".into(), "public_srv_60".into()],
             configs: vec!["ftq2_fdp".into()],
             insertions: Vec::new(),
+            prefetchers: Vec::new(),
         };
         let back = PlanSpec::from_json_value(&spec.to_json_value()).unwrap();
         assert_eq!(back, spec);
         assert!(!spec.to_json_value().render().contains("insertions"));
+        assert!(!spec.to_json_value().render().contains("prefetchers"));
+    }
+
+    #[test]
+    fn prefetchers_round_trip() {
+        let spec = PlanSpec {
+            workloads: Vec::new(),
+            configs: Vec::new(),
+            insertions: Vec::new(),
+            prefetchers: vec!["mana".into(), "shadow_btb".into()],
+        };
+        let back = PlanSpec::from_json_value(&spec.to_json_value()).unwrap();
+        assert_eq!(back, spec);
+        assert!(spec.to_json_value().render().contains("prefetchers"));
+        let spec = PlanSpec::from_json_str(r#"{"prefetchers": ["fdp"]}"#).unwrap();
+        assert_eq!(spec.prefetchers, vec!["fdp".to_string()]);
+        let err = PlanSpec::from_json_str(r#"{"prefetchers": [1]}"#).unwrap_err();
+        assert!(err.to_string().contains("strings"), "{err}");
     }
 
     #[test]
@@ -272,6 +303,7 @@ mod tests {
                 distance: 48,
                 reach: 0.9,
             }],
+            prefetchers: Vec::new(),
         };
         let back = PlanSpec::from_json_value(&spec.to_json_value()).unwrap();
         assert_eq!(back, spec);

@@ -14,7 +14,13 @@ use swip_core::SimReport;
 use crate::json::{Json, JsonError};
 
 /// Schema version emitted by this crate; readers reject anything newer.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v1 → v2 (DESIGN.md §16): per-config entries gained an optional
+/// `prefetcher` label (`fdp` / `asmdb` / `mana` / `shadow_btb`). v1
+/// documents — which simply lack the key — still parse; the field
+/// defaults to empty and is omitted on re-serialization, so a v1 document
+/// round-trips unchanged apart from its version stamp.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// A failure loading a [`RunReport`] from JSON.
 #[derive(Clone, PartialEq, Debug)]
@@ -53,6 +59,10 @@ impl From<JsonError> for ReportError {
 pub struct ConfigReport {
     /// Configuration label (e.g. `ftq24_asmdb`).
     pub config: String,
+    /// Prefetch-mechanism label (`fdp`, `asmdb`, `mana`, `shadow_btb`);
+    /// empty when unknown (v1 documents). Omitted from JSON when empty,
+    /// so v1 documents round-trip without growing the key.
+    pub prefetcher: String,
     /// Exact integer counters, flattened to stable dotted names.
     pub counters: Vec<(String, u64)>,
     /// Derived floating-point values (rates, means, MPKI).
@@ -193,6 +203,7 @@ impl ConfigReport {
         ];
         ConfigReport {
             config: config.into(),
+            prefetcher: String::new(),
             counters,
             values,
         }
@@ -212,8 +223,11 @@ impl ConfigReport {
     }
 
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
-            ("config".into(), Json::Str(self.config.clone())),
+        let mut pairs = vec![("config".into(), Json::Str(self.config.clone()))];
+        if !self.prefetcher.is_empty() {
+            pairs.push(("prefetcher".into(), Json::Str(self.prefetcher.clone())));
+        }
+        pairs.extend([
             (
                 "counters".into(),
                 Json::Obj(
@@ -232,11 +246,20 @@ impl ConfigReport {
                         .collect(),
                 ),
             ),
-        ])
+        ]);
+        Json::Obj(pairs)
     }
 
     fn from_json(v: &Json) -> Result<Self, ReportError> {
         let config = str_field(v, "config")?.to_string();
+        // Absent in v1 documents; optional in v2.
+        let prefetcher = match v.get("prefetcher") {
+            None => String::new(),
+            Some(p) => p
+                .as_str()
+                .ok_or_else(|| schema("config prefetcher must be a string"))?
+                .to_string(),
+        };
         let counters = match v.get("counters") {
             Some(Json::Obj(pairs)) => pairs
                 .iter()
@@ -261,6 +284,7 @@ impl ConfigReport {
         };
         Ok(ConfigReport {
             config,
+            prefetcher,
             counters,
             values,
         })
@@ -573,6 +597,7 @@ mod tests {
             coverage: Vec::new(),
             configs: vec![ConfigReport {
                 config: "ftq2_fdp".into(),
+                prefetcher: "fdp".into(),
                 counters: vec![("cycles".into(), 123_456), ("completed".into(), 1)],
                 values: vec![("ipc".into(), 1.75)],
             }],
@@ -630,6 +655,40 @@ mod tests {
         assert_eq!(c.counter("cycles"), Some(123_456));
         assert_eq!(c.value("ipc"), Some(1.75));
         assert_eq!(c.counter("nope"), None);
+    }
+
+    #[test]
+    fn prefetcher_round_trips_and_stays_out_when_unknown() {
+        let r = sample();
+        let text = r.to_json();
+        assert!(text.contains("\"prefetcher\": \"fdp\""));
+        let back = RunReport::from_json_str(&text).unwrap();
+        assert_eq!(back.workloads[0].configs[0].prefetcher, "fdp");
+        // A config whose mechanism is unknown (v1 documents, from_sim
+        // before stamping) omits the key entirely.
+        let mut bare = sample();
+        bare.workloads[0].configs[0].prefetcher = String::new();
+        let text = bare.to_json();
+        assert!(!text.contains("\"prefetcher\""));
+        assert_eq!(RunReport::from_json_str(&text).unwrap(), bare);
+    }
+
+    #[test]
+    fn v1_documents_still_parse() {
+        // A schema-v1 document: no prefetcher keys, version stamp 1.
+        let mut r = sample();
+        r.version = 1;
+        r.workloads[0].configs[0].prefetcher = String::new();
+        r.seal();
+        let text = r.to_json();
+        assert!(text.contains("\"version\": 1"));
+        let back = RunReport::from_json_str(&text).unwrap();
+        assert_eq!(back.version, 1);
+        assert_eq!(back.workloads[0].configs[0].prefetcher, "");
+        assert_eq!(
+            back.workloads[0].configs[0].counter("cycles"),
+            Some(123_456)
+        );
     }
 
     #[test]

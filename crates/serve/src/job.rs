@@ -250,6 +250,7 @@ mod tests {
         let id = reg.create(PlanSpec {
             workloads: vec!["w0".into()],
             configs: vec!["ftq2_fdp".into()],
+            prefetchers: Vec::new(),
             insertions: Vec::new(),
         });
         reg.mark_running(id);

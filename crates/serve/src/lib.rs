@@ -12,7 +12,7 @@
 //!
 //! | Endpoint | Meaning |
 //! |---|---|
-//! | `POST /v1/jobs` | Submit a plan (`{"workloads": […], "configs": […], "insertions": […]}`, empty axis = all) → job id |
+//! | `POST /v1/jobs` | Submit a plan (`{"workloads": […], "configs": […], "prefetchers": […], "insertions": […]}`, empty axes = the paper six) → job id |
 //! | `GET /v1/jobs/{id}` | Job state machine `queued → running → done \| failed` + timings |
 //! | `GET /v1/jobs/{id}/report` | The finished job's deterministic `RunReport` |
 //! | `GET /healthz` | Liveness + drain flag |

@@ -24,11 +24,13 @@
 
 mod addr;
 mod instr;
+mod prefetcher;
 mod reg;
 mod stats;
 
 pub use addr::{Addr, LineAddr, CACHE_LINE_SIZE};
 pub use instr::{BranchKind, InstrKind, Instruction};
+pub use prefetcher::{PrefetcherId, PrefetcherParseError};
 pub use reg::Reg;
 pub use stats::{geomean, Counter, Ratio, RunningMean};
 

@@ -1,0 +1,135 @@
+//! [`PrefetcherId`]: which instruction-prefetch mechanism a simulation runs.
+//!
+//! The paper compares two points — FDP's fetch-directed run-ahead and
+//! AsmDB's software prefetch hints — but the front-end exposes a trait
+//! boundary (`swip-frontend`'s `InstructionPrefetcher`) that admits more.
+//! This enum is the wire-level name for each implementation; it lives in
+//! `swip-types` so the bench matrix, the report schema, and the serve
+//! resolver all agree on the labels without depending on the front-end.
+
+use std::fmt;
+
+/// An instruction-prefetcher selection, one label per
+/// `InstructionPrefetcher` implementation the front-end ships.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum PrefetcherId {
+    /// Fetch-directed prefetching: the decoupled FTQ itself is the
+    /// prefetcher (the paper's baseline and "industry standard" points).
+    #[default]
+    Fdp,
+    /// AsmDB-style software hints: prefetches planted by the offline
+    /// rewriting pipeline fire when their anchor PC is fetched.
+    Asmdb,
+    /// MANA-style record-and-replay: a metadata table of observed
+    /// line-to-line successions, replayed with a metadata access latency.
+    Mana,
+    /// Shadow-branch BTB pre-fill: branches discovered past a BTB miss are
+    /// recorded and replayed into the BTB (plus a target-line prefetch)
+    /// the next time their line is fetched.
+    ShadowBtb,
+}
+
+/// A failed [`PrefetcherId::from_label`] parse, carrying the rejected
+/// label. The `Display` form lists every valid label.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PrefetcherParseError {
+    /// The label that did not match any prefetcher.
+    pub label: String,
+}
+
+impl fmt::Display for PrefetcherParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown prefetcher {:?} (expected one of: {})",
+            self.label,
+            PrefetcherId::label_list()
+        )
+    }
+}
+
+impl std::error::Error for PrefetcherParseError {}
+
+impl PrefetcherId {
+    /// Every prefetcher, in canonical sweep order.
+    pub const ALL: [PrefetcherId; 4] = [
+        PrefetcherId::Fdp,
+        PrefetcherId::Asmdb,
+        PrefetcherId::Mana,
+        PrefetcherId::ShadowBtb,
+    ];
+
+    /// The stable wire label (used in reports, TSVs, and CLI flags).
+    pub fn label(self) -> &'static str {
+        match self {
+            PrefetcherId::Fdp => "fdp",
+            PrefetcherId::Asmdb => "asmdb",
+            PrefetcherId::Mana => "mana",
+            PrefetcherId::ShadowBtb => "shadow_btb",
+        }
+    }
+
+    /// Parses a wire label back to an id. Hyphens are accepted in place
+    /// of underscores (`shadow-btb` ≡ `shadow_btb`).
+    ///
+    /// # Errors
+    ///
+    /// [`PrefetcherParseError`] naming the rejected label; its `Display`
+    /// lists the valid ones.
+    pub fn from_label(label: &str) -> Result<Self, PrefetcherParseError> {
+        let normalized = label.replace('-', "_");
+        Self::ALL
+            .into_iter()
+            .find(|id| id.label() == normalized)
+            .ok_or_else(|| PrefetcherParseError {
+                label: label.to_string(),
+            })
+    }
+
+    /// A comma-separated list of every valid label, for error messages.
+    pub fn label_list() -> String {
+        let labels: Vec<&str> = Self::ALL.iter().map(|id| id.label()).collect();
+        labels.join(", ")
+    }
+}
+
+impl fmt::Display for PrefetcherId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for id in PrefetcherId::ALL {
+            assert_eq!(PrefetcherId::from_label(id.label()), Ok(id));
+        }
+    }
+
+    #[test]
+    fn hyphens_normalize() {
+        assert_eq!(
+            PrefetcherId::from_label("shadow-btb"),
+            Ok(PrefetcherId::ShadowBtb)
+        );
+    }
+
+    #[test]
+    fn unknown_labels_list_the_valid_ones() {
+        let err = PrefetcherId::from_label("markov").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("markov"), "{msg}");
+        for id in PrefetcherId::ALL {
+            assert!(msg.contains(id.label()), "{msg} missing {}", id.label());
+        }
+    }
+
+    #[test]
+    fn default_is_fdp() {
+        assert_eq!(PrefetcherId::default(), PrefetcherId::Fdp);
+    }
+}

@@ -102,6 +102,28 @@ fi
 rm -f target/fig1.first.tsv
 echo "figure output is byte-stable across runs"
 
+echo "==> smoke: prefetcher zoo sweep (--prefetcher across all four mechanisms)"
+# stride 16 → 3 workloads; long-format TSV = workloads × 4 mechanisms + header.
+cargo run -p swip-cli --release --quiet -- bench --instructions 20000 --stride 16 \
+    --prefetcher fdp --prefetcher asmdb --prefetcher mana --prefetcher shadow_btb
+zoo_tsv="target/experiments/prefetchers.tsv"
+if ! [ -s "$zoo_tsv" ]; then
+    echo "FAIL: $zoo_tsv missing or empty" >&2
+    exit 1
+fi
+rows=$(wc -l <"$zoo_tsv")
+workloads=$(tail -n +2 "$zoo_tsv" | cut -f1 | sort -u | wc -l)
+expected=$((workloads * 4 + 1))
+if [ "$rows" -ne "$expected" ]; then
+    echo "FAIL: $zoo_tsv has $rows rows, expected $expected ($workloads workloads x 4 + header)" >&2
+    exit 1
+fi
+# The sweep's schema-v2 report (with prefetcher tags) must load.
+cargo run -p swip-cli --release --quiet -- report "$report"
+# And the pre-refactor schema-v1 fixture must keep loading (back-compat gate).
+cargo run -p swip-cli --release --quiet -- report tests/fixtures/report_v1.json
+echo "prefetcher zoo TSV well-formed ($workloads workloads x 4 mechanisms); v1 report still loads"
+
 echo "==> smoke: swip bench --measure (throughput history harness)"
 # Run from target/ so the smoke measurement does not clobber the tracked
 # BENCH_throughput.json at the repo root (that one is the full sweep).

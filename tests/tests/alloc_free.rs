@@ -14,8 +14,12 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use swip_cache::{Cache, CacheConfig, ReplacementKind, Tlb, TlbConfig};
-use swip_types::Addr;
+use swip_branch::{BranchConfig, BranchUnit};
+use swip_cache::{
+    Cache, CacheConfig, HierarchyConfig, MemoryHierarchy, ReplacementKind, Tlb, TlbConfig,
+};
+use swip_frontend::{FtqStats, InstructionPrefetcher, ManaPrefetcher, ShadowBtbPrefetcher};
+use swip_types::{Addr, BranchKind};
 
 /// Counts every heap allocation made by the process.
 struct CountingAlloc;
@@ -84,6 +88,51 @@ fn cache_access_and_fill_are_allocation_free_in_steady_state() {
             after - before,
             0,
             "steady-state access/fill allocated ({kind:?})"
+        );
+    }
+}
+
+#[test]
+fn zoo_prefetcher_hooks_are_allocation_free_in_steady_state() {
+    // DESIGN.md §16: per-cycle trait hooks must not allocate in steady
+    // state. Both zoo mechanisms pre-allocate their tables at
+    // construction; this pins that the hooks stay on the fixed storage.
+    let zoo: Vec<(&str, Box<dyn InstructionPrefetcher>)> = vec![
+        ("mana", Box::new(ManaPrefetcher::new())),
+        ("shadow_btb", Box::new(ShadowBtbPrefetcher::new())),
+    ];
+    for (label, mut p) in zoo {
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::tiny());
+        let mut branch = BranchUnit::new(BranchConfig::default());
+        let mut stats = FtqStats::default();
+        let drive = |p: &mut dyn InstructionPrefetcher,
+                     mem: &mut MemoryHierarchy,
+                     branch: &mut BranchUnit,
+                     stats: &mut FtqStats,
+                     cycles: std::ops::Range<u64>| {
+            for now in cycles {
+                let pc = Addr::new((now % 16) * 64);
+                p.train_on_fetch(pc, now, mem, stats);
+                if now.is_multiple_of(3) {
+                    let target = Addr::new(((now + 5) % 16) * 64);
+                    p.train_on_btb_miss(pc, BranchKind::UncondDirect, target, now);
+                }
+                p.issue_prefetch(pc.line(), now, mem, branch, stats);
+                p.tick(now, mem, stats);
+            }
+        };
+        // Warm-up: fills the tables, settles the hierarchy and BTB.
+        drive(p.as_mut(), &mut mem, &mut branch, &mut stats, 0..2048);
+        let before = allocations();
+        drive(p.as_mut(), &mut mem, &mut branch, &mut stats, 2048..8192);
+        assert_eq!(
+            allocations() - before,
+            0,
+            "{label} hooks allocated in steady state"
+        );
+        assert!(
+            p.snapshot().issued > 0,
+            "{label} never issued; the test lost its meaning"
         );
     }
 }

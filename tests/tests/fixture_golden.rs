@@ -1,0 +1,99 @@
+//! Regression gates against pre-refactor fixtures: the prefetcher-trait
+//! seam must not move a single figure byte, and schema-v1 report
+//! documents must keep parsing.
+//!
+//! `tests/fixtures/` was captured from the tree immediately before the
+//! `InstructionPrefetcher` extraction, at `--instructions 20000 --stride
+//! 48 --threads 2` (one workload, `public_srv_60`).
+
+use swip_bench::{build_run_report, figures, ConfigId, ExperimentPlan, SessionBuilder};
+use swip_report::RunReport;
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Re-runs the fixture sweep and rebuilds `fig1.tsv` in memory (no shared
+/// experiments dir) — it must match the pre-refactor bytes exactly.
+#[test]
+fn fig1_bytes_survive_the_prefetcher_trait_refactor() {
+    let session = SessionBuilder::new()
+        .instructions(20_000)
+        .stride(48)
+        .threads(2)
+        .build()
+        .unwrap();
+    let plan = ExperimentPlan::all_figures(session.workloads());
+    let results = session.run(&plan).unwrap();
+
+    let mut tsv = String::from("workload\tAsmDB\tAsmDB-NoOv\tFDP24\tAsmDB+FDP\tAsmDB+FDP-NoOv\n");
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    for r in &results {
+        tsv.push_str(&figures::fig1_row(r));
+        tsv.push('\n');
+        for (i, (_, v)) in r.fig1_series().iter().enumerate() {
+            series[i].push(*v);
+        }
+    }
+    let g: Vec<f64> = series.iter().map(|s| swip_types::geomean(s)).collect();
+    tsv.push_str(&format!(
+        "geomean\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\n",
+        g[0], g[1], g[2], g[3], g[4]
+    ));
+
+    assert_eq!(
+        tsv,
+        fixture("fig1_v1.tsv"),
+        "fig1 rows drifted from the pre-refactor capture"
+    );
+}
+
+/// The v1 document still parses, still verifies its own fingerprint, and
+/// carries the same counters and values a fresh run produces today.
+#[test]
+fn v1_report_fixture_parses_and_matches_a_fresh_run() {
+    let text = fixture("report_v1.json");
+    let v1 = RunReport::from_json_str(&text).expect("schema v1 must stay readable");
+    assert_eq!(v1.version, 1);
+    assert_eq!(v1.compute_fingerprint(), v1.fingerprint);
+
+    let session = SessionBuilder::new()
+        .instructions(20_000)
+        .stride(48)
+        .threads(2)
+        .build()
+        .unwrap();
+    let plan = ExperimentPlan::all_figures(session.workloads());
+    let results = session.run(&plan).unwrap();
+    let fresh = build_run_report(&session, "all", &results);
+
+    assert_eq!(v1.workloads.len(), fresh.workloads.len());
+    for old_w in &v1.workloads {
+        let new_w = fresh.workload(&old_w.name).expect("workload still present");
+        assert_eq!(old_w.coverage, new_w.coverage, "{}", old_w.name);
+        for id in ConfigId::PAPER {
+            let old_c = old_w.config(id.label()).expect("config in fixture");
+            let new_c = new_w.config(id.label()).expect("config in fresh run");
+            // v1 predates the `prefetcher` key; everything measured must
+            // agree to the last bit.
+            assert_eq!(old_c.prefetcher, "");
+            assert_eq!(
+                old_c.counters,
+                new_c.counters,
+                "{}/{} counters drifted",
+                old_w.name,
+                id.label()
+            );
+            assert_eq!(
+                old_c.values,
+                new_c.values,
+                "{}/{} values drifted",
+                old_w.name,
+                id.label()
+            );
+        }
+    }
+}

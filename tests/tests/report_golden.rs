@@ -23,11 +23,11 @@ fn report_counters_reproduce_the_counter_figures() {
     let (session, results) = sweep();
     let report = build_run_report(&session, "all", &results);
 
-    // Figures 9/10/11 are straight counter dumps in ConfigId::ALL order;
+    // Figures 9/10/11 are straight counter dumps in the paper-six order;
     // the report must carry the identical integers under its dotted names.
     for r in &results {
         let w = report.workload(r.name()).expect("workload present");
-        for id in ConfigId::ALL {
+        for id in ConfigId::PAPER {
             let sim = r.report(id);
             let c = w.config(id.label()).expect("config present");
             assert_eq!(
@@ -92,7 +92,7 @@ fn report_fractions_reproduce_the_scenario_table() {
 
     for r in &results {
         let w = report.workload(r.name()).unwrap();
-        for id in ConfigId::ALL {
+        for id in ConfigId::PAPER {
             let (s1, s2, s3, empty) = r.report(id).frontend.scenario_fractions();
             let c = w.config(id.label()).unwrap();
             for (name, expected) in [

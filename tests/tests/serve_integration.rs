@@ -149,6 +149,26 @@ fn served_report_is_byte_identical_to_an_offline_run() {
     let (status, _) = submit(&h.addr, "not json");
     assert_eq!(status, 400);
 
+    // An unknown prefetcher label 400s before queueing, and the error
+    // names the valid mechanisms.
+    let queue_before = h.ctx.job_counts().iter().sum::<u64>();
+    let (status, body) = submit(&h.addr, r#"{"prefetchers": ["markov"]}"#);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("unresolvable plan"), "{body}");
+    assert!(body.contains("markov"), "{body}");
+    assert!(body.contains("shadow_btb"), "{body}");
+    assert_eq!(h.ctx.job_counts().iter().sum::<u64>(), queue_before);
+
+    // A known prefetcher label resolves to its zoo configuration.
+    let (status, body) = submit(&h.addr, r#"{"prefetchers": ["mana"]}"#);
+    assert_eq!(status, 202, "{body}");
+    let id = job_id(&body);
+    wait_done(&h.addr, id);
+    let (_, job_body) = client::request(&h.addr, "GET", &format!("/v1/jobs/{id}"), None).unwrap();
+    let job = Json::parse(&job_body).unwrap();
+    let configs = job.get("plan").unwrap().get("configs").unwrap();
+    assert_eq!(configs.render(), r#"["ftq24_mana"]"#);
+
     // Static admission: a custom insertion anchored at an address no
     // workload ever executes is provably dead (D001) — rejected with the
     // rule ids before it can occupy queue capacity.
