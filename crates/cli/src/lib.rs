@@ -38,9 +38,12 @@
 //!   and exit like `diff(1)`: 0 when they match, 1 when they differ, 2
 //!   when a file cannot be read or parsed;
 //! * `swip serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
-//!   [--instructions N] [--stride N] [--job-threads K] [--cache-dir
-//!   DIR]` — run the experiment engine as an HTTP service with a bounded
-//!   job queue (see `swip-serve`).
+//!   [--max-conns N] [--keep-alive-timeout SECS] [--instructions N]
+//!   [--stride N] [--job-threads K] [--cache-dir DIR]` — run the
+//!   experiment engine as an HTTP service: keep-alive connections
+//!   multiplexed on a `poll(2)` readiness loop, a bounded connection
+//!   table (`503` shedding past `--max-conns`), and a bounded job queue
+//!   (see `swip-serve`).
 //!
 //! The parser is hand-rolled (the workspace's dependency budget is
 //! deliberately small) and returns structured [`Command`]s so it can be
@@ -153,6 +156,11 @@ pub enum Command {
         workers: usize,
         /// Bounded job-queue capacity (excess submissions get 429).
         queue_depth: usize,
+        /// Bounded connection-table capacity (excess accepts get 503 +
+        /// `Connection: close`).
+        max_conns: usize,
+        /// Idle keep-alive connection timeout, in seconds.
+        keep_alive_timeout: u64,
         /// Dynamic instruction budget per workload.
         instructions: u64,
         /// Workload suite stride (1 = all 48, 8 = every 8th, …).
@@ -197,6 +205,7 @@ USAGE:
   swip report FILE
   swip report --diff FILE FILE     (exits 0 match / 1 differ / 2 unreadable)
   swip serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+             [--max-conns N] [--keep-alive-timeout SECS]
              [--instructions N] [--stride N] [--job-threads K] [--cache-dir DIR]
   swip help
 ";
@@ -435,6 +444,8 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
             let mut addr = "127.0.0.1:8080".to_string();
             let mut workers = 2usize;
             let mut queue_depth = 16usize;
+            let mut max_conns = 256usize;
+            let mut keep_alive_timeout = 5u64;
             let mut instructions = 300_000u64;
             let mut stride = 1usize;
             let mut job_threads = None;
@@ -445,6 +456,12 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
                     "--workers" => workers = parse_num(take_value(&mut it, a)?)? as usize,
                     "--queue-depth" => {
                         queue_depth = parse_num(take_value(&mut it, a)?)? as usize;
+                    }
+                    "--max-conns" => {
+                        max_conns = parse_num(take_value(&mut it, a)?)? as usize;
+                    }
+                    "--keep-alive-timeout" => {
+                        keep_alive_timeout = parse_num(take_value(&mut it, a)?)?;
                     }
                     "--instructions" => instructions = parse_num(take_value(&mut it, a)?)?,
                     "--stride" => stride = parse_num(take_value(&mut it, a)?)? as usize,
@@ -461,10 +478,18 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
             if queue_depth == 0 {
                 return Err(UsageError("--queue-depth must be positive".into()));
             }
+            if max_conns == 0 {
+                return Err(UsageError("--max-conns must be positive".into()));
+            }
+            if keep_alive_timeout == 0 {
+                return Err(UsageError("--keep-alive-timeout must be positive".into()));
+            }
             Ok(Command::Serve {
                 addr,
                 workers,
                 queue_depth,
+                max_conns,
+                keep_alive_timeout,
                 instructions,
                 stride,
                 job_threads,
@@ -744,6 +769,8 @@ pub fn execute(cmd: Command) -> Result<u8, Box<dyn Error>> {
             addr,
             workers,
             queue_depth,
+            max_conns,
+            keep_alive_timeout,
             instructions,
             stride,
             job_threads,
@@ -763,6 +790,9 @@ pub fn execute(cmd: Command) -> Result<u8, Box<dyn Error>> {
                 addr,
                 workers,
                 queue_depth,
+                max_conns,
+                keep_alive_timeout: std::time::Duration::from_secs(keep_alive_timeout),
+                ..swip_serve::ServeConfig::default()
             };
             let server = swip_serve::Server::bind(&config, session)?;
             // Scripts scrape this line to learn the picked port.
@@ -853,6 +883,8 @@ mod tests {
                 addr: "127.0.0.1:8080".into(),
                 workers: 2,
                 queue_depth: 16,
+                max_conns: 256,
+                keep_alive_timeout: 5,
                 instructions: 300_000,
                 stride: 1,
                 job_threads: None,
@@ -868,6 +900,10 @@ mod tests {
                 "4",
                 "--queue-depth",
                 "8",
+                "--max-conns",
+                "64",
+                "--keep-alive-timeout",
+                "2",
                 "--instructions",
                 "20_000",
                 "--stride",
@@ -881,6 +917,8 @@ mod tests {
                 addr: "0.0.0.0:9999".into(),
                 workers: 4,
                 queue_depth: 8,
+                max_conns: 64,
+                keep_alive_timeout: 2,
                 instructions: 20_000,
                 stride: 24,
                 job_threads: Some(2),
@@ -1042,6 +1080,8 @@ mod tests {
         assert!(parse(&["report", "--bogus", "a.json"]).is_err());
         assert!(parse(&["serve", "--workers", "0"]).is_err());
         assert!(parse(&["serve", "--queue-depth", "0"]).is_err());
+        assert!(parse(&["serve", "--max-conns", "0"]).is_err());
+        assert!(parse(&["serve", "--keep-alive-timeout", "0"]).is_err());
         assert!(parse(&["serve", "--bogus"]).is_err());
     }
 

@@ -1,11 +1,23 @@
 //! End-to-end smoke probe for a running `swip serve` instance, used by
-//! `scripts/check.sh`: health check, one tiny job to completion, report
-//! fetch, then a graceful shutdown request.
+//! `scripts/check.sh`.
 //!
-//! Usage: `serve_probe HOST:PORT`. Exits 0 only if every step succeeds.
+//! Default mode: health check, then **three** plan submissions over one
+//! kept-alive socket (the keep-alive smoke) — distinct job ids, all
+//! polled to completion and their reports fetched on the same
+//! connection — then a graceful shutdown request.
+//!
+//! Flood mode (`serve_probe ADDR flood N`): opens `N` idle connections
+//! and reports how many were shed with `503` at accept time, asserting
+//! the connection table is bounded. The caller checks the server's
+//! thread count separately (it must not scale with `N`).
+//!
+//! Usage: `serve_probe HOST:PORT [flood N]`. Exits 0 only if every step
+//! succeeds.
 
 #![forbid(unsafe_code)]
 
+use std::io::Read;
+use std::net::TcpStream;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -16,15 +28,22 @@ const POLL: Duration = Duration::from_millis(100);
 const DEADLINE: Duration = Duration::from_secs(120);
 
 fn main() -> ExitCode {
-    let Some(addr) = std::env::args().nth(1) else {
-        eprintln!("usage: serve_probe HOST:PORT");
-        return ExitCode::from(2);
-    };
-    match probe(&addr) {
-        Ok(id) => {
-            println!("serve probe ok (job {id} done, report fetched, drain requested)");
-            ExitCode::SUCCESS
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = match args.as_slice() {
+        [addr] => probe(addr).map(|id| {
+            println!("serve probe ok (3 keep-alive jobs done through job {id}, drain requested)");
+        }),
+        [addr, mode, n] if mode == "flood" => match n.parse::<usize>() {
+            Ok(n) => flood(addr, n),
+            Err(_) => Err(format!("flood count is not a number: {n}")),
+        },
+        _ => {
+            eprintln!("usage: serve_probe HOST:PORT [flood N]");
+            return ExitCode::from(2);
         }
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("serve probe failed: {e}");
             ExitCode::FAILURE
@@ -33,60 +52,117 @@ fn main() -> ExitCode {
 }
 
 fn probe(addr: &str) -> Result<u64, String> {
-    let (status, body) = get(addr, "/healthz")?;
+    let (status, body) =
+        client::request(addr, "GET", "/healthz", None).map_err(|e| format!("GET /healthz: {e}"))?;
     expect(200, status, "/healthz", &body)?;
     if !body.contains("\"ok\"") {
         return Err(format!("/healthz body looks unhealthy: {body}"));
     }
 
-    // The cheapest possible job: the baseline config across the
-    // session's (stride-reduced) suite.
-    let (status, body) = client::request(
-        addr,
-        "POST",
-        "/v1/jobs",
-        Some(r#"{"configs": ["ftq2_fdp"]}"#),
-    )
-    .map_err(|e| format!("POST /v1/jobs: {e}"))?;
-    expect(202, status, "POST /v1/jobs", &body)?;
-    let id = Json::parse(&body)
-        .ok()
-        .and_then(|j| j.get("id").and_then(Json::as_u64))
-        .ok_or_else(|| format!("job id missing from submission response: {body}"))?;
-
-    let started = Instant::now();
-    loop {
-        let (status, body) = get(addr, &format!("/v1/jobs/{id}"))?;
-        expect(200, status, "job status", &body)?;
-        let state = Json::parse(&body)
+    // The keep-alive smoke: one socket, three submissions of the
+    // cheapest possible job (the baseline config across the
+    // stride-reduced suite), polled and fetched on that same socket.
+    let mut conn =
+        client::Connection::connect(addr).map_err(|e| format!("keep-alive connect: {e}"))?;
+    let mut ids = Vec::new();
+    for i in 0..3 {
+        let (status, body) = conn
+            .request("POST", "/v1/jobs", Some(r#"{"configs": ["ftq2_fdp"]}"#))
+            .map_err(|e| format!("keep-alive POST /v1/jobs #{i}: {e}"))?;
+        expect(202, status, "POST /v1/jobs", &body)?;
+        let id = Json::parse(&body)
             .ok()
-            .and_then(|j| j.get("state").and_then(|s| s.as_str().map(String::from)))
-            .ok_or_else(|| format!("job state missing: {body}"))?;
-        match state.as_str() {
-            "done" => break,
-            "failed" => return Err(format!("job {id} failed: {body}")),
-            _ if started.elapsed() > DEADLINE => {
-                return Err(format!("job {id} still {state} after {DEADLINE:?}"))
-            }
-            _ => std::thread::sleep(POLL),
+            .and_then(|j| j.get("id").and_then(Json::as_u64))
+            .ok_or_else(|| format!("job id missing from submission response: {body}"))?;
+        if ids.contains(&id) {
+            return Err(format!(
+                "duplicate job id {id} across pipelined submissions"
+            ));
         }
+        ids.push(id);
     }
 
-    let (status, body) = get(addr, &format!("/v1/jobs/{id}/report"))?;
-    expect(200, status, "job report", &body)?;
-    let report = Json::parse(&body).map_err(|e| format!("report is not JSON: {e}"))?;
-    if report.get("figure").and_then(Json::as_str) != Some("plan") {
-        return Err(format!("report is not a plan report: {body}"));
+    let mut reports = Vec::new();
+    for &id in &ids {
+        let started = Instant::now();
+        loop {
+            let (status, body) = conn
+                .request("GET", &format!("/v1/jobs/{id}"), None)
+                .map_err(|e| format!("keep-alive job poll: {e}"))?;
+            expect(200, status, "job status", &body)?;
+            let state = Json::parse(&body)
+                .ok()
+                .and_then(|j| j.get("state").and_then(|s| s.as_str().map(String::from)))
+                .ok_or_else(|| format!("job state missing: {body}"))?;
+            match state.as_str() {
+                "done" => break,
+                "failed" => return Err(format!("job {id} failed: {body}")),
+                _ if started.elapsed() > DEADLINE => {
+                    return Err(format!("job {id} still {state} after {DEADLINE:?}"))
+                }
+                _ => std::thread::sleep(POLL),
+            }
+        }
+        let (status, body) = conn
+            .request("GET", &format!("/v1/jobs/{id}/report"), None)
+            .map_err(|e| format!("keep-alive report fetch: {e}"))?;
+        expect(200, status, "job report", &body)?;
+        let report = Json::parse(&body).map_err(|e| format!("report is not JSON: {e}"))?;
+        if report.get("figure").and_then(Json::as_str) != Some("plan") {
+            return Err(format!("report is not a plan report: {body}"));
+        }
+        reports.push(body);
+    }
+    // Same plan, same session: every report must be byte-identical.
+    if reports.windows(2).any(|w| w[0] != w[1]) {
+        return Err("reports for identical plans differ across keep-alive jobs".into());
     }
 
     let (status, body) =
         client::request(addr, "POST", "/v1/shutdown", None).map_err(|e| e.to_string())?;
     expect(202, status, "POST /v1/shutdown", &body)?;
-    Ok(id)
+    Ok(*ids.last().unwrap())
 }
 
-fn get(addr: &str, path: &str) -> Result<(u16, String), String> {
-    client::request(addr, "GET", path, None).map_err(|e| format!("GET {path}: {e}"))
+/// Opens `n` idle connections and counts accept-time 503 sheds. The
+/// accepted sockets are held open for the whole run so the table stays
+/// full; they are never written to, so a bounded server spends no
+/// thread on them.
+fn flood(addr: &str, n: usize) -> Result<(), String> {
+    let mut held: Vec<TcpStream> = Vec::new();
+    let mut shed = 0usize;
+    for i in 0..n {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("flood connect #{i}: {e}"))?;
+        stream
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .map_err(|e| e.to_string())?;
+        held.push(stream);
+    }
+    // Shed sockets got an immediate 503 + close; held ones stay silent
+    // until their keep-alive deadline. A short read disambiguates.
+    for stream in &mut held {
+        let mut buf = [0u8; 512];
+        match stream.read(&mut buf) {
+            Ok(k) if k > 0 => {
+                let text = String::from_utf8_lossy(&buf[..k]);
+                if text.starts_with("HTTP/1.1 503") {
+                    shed += 1;
+                } else {
+                    return Err(format!("unexpected unsolicited response: {text}"));
+                }
+            }
+            Ok(_) => {}  // EOF after shed body already read
+            Err(_) => {} // timeout: the socket is being held open
+        }
+    }
+    println!(
+        "flood: {n} connections, {shed} shed with 503, {} held",
+        n - shed
+    );
+    if shed == 0 {
+        return Err(format!("{n} idle connections but none were shed with 503"));
+    }
+    Ok(())
 }
 
 fn expect(want: u16, got: u16, what: &str, body: &str) -> Result<(), String> {

@@ -6,7 +6,16 @@
 //! memoized traces and AsmDB pipeline outputs — the serving analogue of
 //! a long-lived `swip bench` sweep. Everything is `std`: the listener is
 //! a [`TcpListener`](std::net::TcpListener), the HTTP/1.1 subset is
-//! hand-rolled, and JSON goes through `swip-report`'s value type.
+//! hand-rolled, readiness comes from a minimal `poll(2)` shim, and JSON
+//! goes through `swip-report`'s value type.
+//!
+//! I/O is a single-threaded readiness loop over nonblocking sockets:
+//! connections are kept alive across requests (HTTP/1.1 negotiation,
+//! pipelining included), the connection table is bounded by
+//! `max_conns` with accept-time `503` shedding, and per-connection
+//! idle/read deadlines evict stalled peers (`408` mid-request). Only
+//! job execution leaves the loop thread, via the bounded queue and the
+//! fixed worker pool — client count never grows the thread count.
 //!
 //! # API
 //!
@@ -35,8 +44,12 @@
 //!   Wall-clock lives on the job resource, live counters on `/metrics`.
 //! * **Panics are contained**: a poisoned job becomes a `failed` record,
 //!   not a dead server.
+//! * **Connections are bounded**: the table caps at `max_conns`;
+//!   accepts past it are shed immediately with `503` +
+//!   `Connection: close`, never queued or threaded.
 //! * **Shutdown drains**: SIGINT/SIGTERM (or `POST /v1/shutdown`) stops
-//!   admission with `503`, finishes accepted jobs, then exits 0.
+//!   admission with `503`, closes (and stops reading) idle kept-alive
+//!   connections, finishes accepted jobs, then exits 0.
 //!
 //! ```no_run
 //! use swip_serve::{ServeConfig, Server};
@@ -48,23 +61,26 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-// `deny` rather than the workspace's usual `forbid`: the SIGINT shim in
-// `shutdown` is the one place allowed to override it.
+// `deny` rather than the workspace's usual `forbid`: the `signal(2)`
+// shim in `shutdown` and the `poll(2)` shim in `poll` are the two
+// places allowed to override it.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod admit;
 pub mod client;
+mod conn;
 mod http;
 mod job;
 mod metrics;
+mod poll;
 mod queue;
 mod router;
 mod server;
 pub mod shutdown;
 mod worker;
 
-pub use http::{HttpError, Request, Response};
+pub use http::{read_request, HttpError, Request, RequestParser, Response};
 pub use job::{JobRecord, JobRegistry, JobState};
 pub use queue::{BoundedQueue, SubmitError};
 pub use server::{ServeConfig, ServeContext, Server};

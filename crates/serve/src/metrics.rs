@@ -1,19 +1,90 @@
-//! The `/metrics` document: queue depth, job states, and the warm
-//! session's cumulative cache counters.
+//! The `/metrics` document: queue depth, job states, connection-table
+//! telemetry, and the warm session's cumulative cache counters.
 //!
 //! This is where the *volatile* telemetry lives. Job reports are
 //! byte-deterministic (see
 //! [`build_plan_report`](swip_bench::build_plan_report)), so anything
 //! scheduling- or wall-clock-dependent — queue occupancy, per-state job
-//! counts, the session's memo hit counters, uptime — is exposed here
-//! instead, as one flat JSON object rendered with `swip-report`'s value
-//! type.
+//! counts, connection gauges, the session's memo hit counters, uptime —
+//! is exposed here instead, as one flat JSON object rendered with
+//! `swip-report`'s value type.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use swip_bench::session_counter_pairs;
 use swip_report::Json;
 
+use crate::conn::{CloseReason, Conn};
 use crate::job::JobState;
 use crate::server::ServeContext;
+
+/// Histogram bucket upper bounds for requests-per-connection (the last
+/// bucket is unbounded). Recorded when a connection closes.
+const REQS_PER_CONN_BUCKETS: [u64; 4] = [1, 2, 4, 8];
+
+/// Connection-table counters and gauges, updated by the event loop.
+///
+/// The gauges (`open` / `active` / `keepalive`) are snapshots the loop
+/// stores once per iteration — exact at the instant of the store, which
+/// is all a scrape can ask of a single-threaded loop. The counters are
+/// cumulative since process start.
+#[derive(Default)]
+pub(crate) struct ConnMetrics {
+    /// Gauge: connections currently in the table.
+    pub(crate) open: AtomicU64,
+    /// Gauge: connections with a request or response in flight.
+    pub(crate) active: AtomicU64,
+    /// Gauge: open connections that have already served ≥ 1 request
+    /// (i.e. being kept alive for a follow-up).
+    pub(crate) keepalive: AtomicU64,
+    /// Counter: connections closed for stalling mid-request or
+    /// mid-response (read deadline, hangup, socket error).
+    pub(crate) timeouts: AtomicU64,
+    /// Counter: connections shed at accept time (`503`, table full).
+    pub(crate) shed: AtomicU64,
+    /// Counter: idle kept-alive connections closed by the keep-alive
+    /// timeout (or by drain).
+    pub(crate) idle_closed: AtomicU64,
+    /// Counter: total connections closed, any reason.
+    pub(crate) closed: AtomicU64,
+    /// Histogram of requests served per closed connection; buckets are
+    /// `≤1, ≤2, ≤4, ≤8, >8`.
+    pub(crate) reqs_per_conn: [AtomicU64; 5],
+}
+
+impl ConnMetrics {
+    /// Books a connection's death: its close reason plus its
+    /// requests-served histogram sample.
+    pub(crate) fn record_close(&self, conn: &Conn, reason: CloseReason) {
+        self.closed.fetch_add(1, Ordering::Relaxed);
+        match reason {
+            CloseReason::MidRequest => {
+                self.timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+            CloseReason::Idle => {
+                self.idle_closed.fetch_add(1, Ordering::Relaxed);
+            }
+            CloseReason::Done => {}
+        }
+        let bucket = REQS_PER_CONN_BUCKETS
+            .iter()
+            .position(|&cap| conn.requests_served <= cap)
+            .unwrap_or(REQS_PER_CONN_BUCKETS.len());
+        self.reqs_per_conn[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stores the per-iteration gauge snapshot.
+    pub(crate) fn store_gauges(&self, conns: &[Conn]) {
+        self.open.store(conns.len() as u64, Ordering::Relaxed);
+        let active = conns
+            .iter()
+            .filter(|c| c.mid_request() || c.has_pending_write())
+            .count();
+        self.active.store(active as u64, Ordering::Relaxed);
+        let keepalive = conns.iter().filter(|c| c.requests_served > 0).count();
+        self.keepalive.store(keepalive as u64, Ordering::Relaxed);
+    }
+}
 
 /// Builds the flat `/metrics` object for the current instant.
 pub(crate) fn metrics_json(ctx: &ServeContext) -> Json {
@@ -35,6 +106,34 @@ pub(crate) fn metrics_json(ctx: &ServeContext) -> Json {
         pairs.push((format!("jobs_{}", state.label()), Json::U64(count)));
     }
     pairs.push(("jobs_rejected".to_string(), Json::U64(ctx.rejected())));
+
+    let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    let conns = &ctx.conns;
+    pairs.push(("max_conns".to_string(), Json::U64(ctx.max_conns as u64)));
+    pairs.push(("conns_open".to_string(), Json::U64(load(&conns.open))));
+    pairs.push(("conns_active".to_string(), Json::U64(load(&conns.active))));
+    pairs.push((
+        "conns_keepalive".to_string(),
+        Json::U64(load(&conns.keepalive)),
+    ));
+    pairs.push(("conns_closed".to_string(), Json::U64(load(&conns.closed))));
+    pairs.push(("conns_shed".to_string(), Json::U64(load(&conns.shed))));
+    pairs.push((
+        "conns_idle_closed".to_string(),
+        Json::U64(load(&conns.idle_closed)),
+    ));
+    pairs.push((
+        "conn_timeouts".to_string(),
+        Json::U64(load(&conns.timeouts)),
+    ));
+    for (i, bucket) in conns.reqs_per_conn.iter().enumerate() {
+        let label = match REQS_PER_CONN_BUCKETS.get(i) {
+            Some(cap) => format!("requests_per_conn_le{cap}"),
+            None => "requests_per_conn_gt8".to_string(),
+        };
+        pairs.push((label, Json::U64(load(bucket))));
+    }
+
     for (name, value) in session_counter_pairs(&ctx.session) {
         pairs.push((format!("session_{name}"), Json::U64(value)));
     }

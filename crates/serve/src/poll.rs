@@ -1,0 +1,169 @@
+//! Readiness notification for the connection loop: a minimal `poll(2)`
+//! shim, mirroring the `signal(2)` island in [`shutdown`](crate::shutdown).
+//!
+//! The workspace has no event-loop dependency, so this module wraps the
+//! one syscall the server needs behind a safe API: build a list of
+//! [`PollFd`]s, call [`wait`], inspect readiness. The unsafe block is
+//! confined here (the crate is otherwise `deny(unsafe_code)`); the
+//! non-Unix fallback degrades to a timed sleep that reports every fd
+//! ready, which is correct (if busier) against nonblocking sockets.
+
+use std::io;
+use std::time::Duration;
+
+/// Interest and readiness for one file descriptor, layout-compatible
+/// with `struct pollfd`.
+#[repr(C)]
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+const POLLNVAL: i16 = 0x020;
+
+impl PollFd {
+    /// Interest in `fd`: readable and/or writable.
+    pub(crate) fn new(fd: i32, read: bool, write: bool) -> Self {
+        let mut events = 0;
+        if read {
+            events |= POLLIN;
+        }
+        if write {
+            events |= POLLOUT;
+        }
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Readable, or hung up (a read will observe EOF without blocking).
+    pub(crate) fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLHUP) != 0
+    }
+
+    /// Writable without blocking.
+    pub(crate) fn writable(&self) -> bool {
+        self.revents & POLLOUT != 0
+    }
+
+    /// Error or invalid-fd condition; the connection is beyond saving.
+    pub(crate) fn failed(&self) -> bool {
+        self.revents & (POLLERR | POLLNVAL) != 0
+    }
+}
+
+/// Blocks until at least one fd is ready or `timeout` elapses; returns
+/// the number of ready fds (0 on timeout).
+///
+/// # Errors
+///
+/// Propagates `poll(2)` failures other than `EINTR` (which reports as a
+/// zero-ready wakeup so the caller re-checks its shutdown flag).
+pub(crate) fn wait(fds: &mut [PollFd], timeout: Duration) -> io::Result<usize> {
+    ffi::wait(fds, timeout)
+}
+
+#[cfg(unix)]
+mod ffi {
+    #![allow(unsafe_code)]
+
+    use super::PollFd;
+    use std::io;
+    use std::time::Duration;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    pub(super) fn wait(fds: &mut [PollFd], timeout: Duration) -> io::Result<usize> {
+        let millis = timeout.as_millis().min(i32::MAX as u128) as i32;
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // repr(C) pollfd-compatible structs; the kernel writes only to
+        // `revents` within its bounds.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, millis) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            // A signal landed (likely SIGINT/SIGTERM); surface as a
+            // timeout so the loop polls its shutdown flag.
+            return Ok(0);
+        }
+        Err(err)
+    }
+}
+
+#[cfg(not(unix))]
+mod ffi {
+    use super::PollFd;
+    use std::io;
+    use std::time::Duration;
+
+    pub(super) fn wait(fds: &mut [PollFd], timeout: Duration) -> io::Result<usize> {
+        // No poll(2): sleep briefly and report everything ready. The
+        // sockets are nonblocking, so spurious readiness costs one
+        // WouldBlock each.
+        std::thread::sleep(timeout.min(Duration::from_millis(10)));
+        for fd in fds.iter_mut() {
+            fd.revents = fd.events;
+        }
+        Ok(fds.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    #[cfg(unix)]
+    fn fd_of(s: &TcpStream) -> i32 {
+        use std::os::unix::io::AsRawFd;
+        s.as_raw_fd()
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn reports_readable_only_after_bytes_arrive() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+
+        let mut fds = [PollFd::new(fd_of(&server), true, false)];
+        let n = wait(&mut fds, Duration::from_millis(10)).unwrap();
+        assert_eq!(n, 0, "nothing written yet");
+        assert!(!fds[0].readable());
+
+        client.write_all(b"x").unwrap();
+        client.flush().unwrap();
+        let n = wait(&mut fds, Duration::from_secs(5)).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+
+        // A writable socket with room in its send buffer is ready
+        // immediately.
+        let mut wfds = [PollFd::new(fd_of(&server), false, true)];
+        assert_eq!(wait(&mut wfds, Duration::from_secs(5)).unwrap(), 1);
+        assert!(wfds[0].writable());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn timeout_is_honored_with_no_fds() {
+        let started = Instant::now();
+        let n = wait(&mut [], Duration::from_millis(30)).unwrap();
+        assert_eq!(n, 0);
+        assert!(started.elapsed() >= Duration::from_millis(25));
+    }
+}

@@ -148,10 +148,11 @@ fi
 cargo run -p swip-cli --release --quiet -- report target/BENCH_throughput.json
 echo "throughput history present, well-formed, 2 entries after 2 runs"
 
-echo "==> smoke: swip serve (ephemeral port, probe, graceful drain)"
+echo "==> smoke: swip serve (keep-alive probe, connection flood, graceful drain)"
 cargo build -q --release -p swip-cli -p swip-serve
 serve_log="target/serve-smoke.log"
 ./target/release/swip serve --addr 127.0.0.1:0 --workers 1 --queue-depth 4 \
+    --max-conns 32 --keep-alive-timeout 2 \
     --instructions 20000 --stride 48 >"$serve_log" 2>&1 &
 serve_pid=$!
 addr=""
@@ -166,6 +167,42 @@ if [ -z "$addr" ]; then
     kill "$serve_pid" 2>/dev/null || true
     exit 1
 fi
+
+# Flood probe: 82 idle connections against --max-conns 32 must shed the
+# overflow with 503 at accept time — and, because connections live in a
+# poll loop rather than a thread each, the server's thread count must
+# not grow with the flood.
+if [ -d "/proc/$serve_pid/task" ]; then
+    threads_before=$(ls "/proc/$serve_pid/task" | wc -l)
+else
+    threads_before=""
+fi
+flood_log="target/serve-flood.log"
+./target/release/serve_probe "$addr" flood 82 >"$flood_log" 2>&1 &
+flood_pid=$!
+sleep 1
+if [ -n "$threads_before" ]; then
+    threads_during=$(ls "/proc/$serve_pid/task" | wc -l)
+else
+    threads_during=""
+fi
+if ! wait "$flood_pid"; then
+    echo "FAIL: flood probe failed" >&2
+    cat "$flood_log" "$serve_log" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+cat "$flood_log"
+if [ -n "$threads_before" ] && [ "$threads_during" -gt $((threads_before + 2)) ]; then
+    echo "FAIL: thread count grew under flood ($threads_before -> $threads_during)" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+[ -n "$threads_before" ] && \
+    echo "thread count bounded under flood ($threads_before -> $threads_during)"
+
+# Default probe: health check, then three plan submissions over ONE
+# kept-alive socket (the keep-alive smoke), then a drain request.
 if ! ./target/release/serve_probe "$addr"; then
     echo "FAIL: serve probe failed" >&2
     cat "$serve_log" >&2
@@ -178,6 +215,6 @@ if ! wait "$serve_pid"; then
     cat "$serve_log" >&2
     exit 1
 fi
-echo "serve smoke passed (served on $addr, drained, exit 0)"
+echo "serve smoke passed (served on $addr, keep-alive + flood probed, drained, exit 0)"
 
 echo "All checks passed."

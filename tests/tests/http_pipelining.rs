@@ -1,0 +1,128 @@
+//! Byte-split property test for the HTTP request reader: a pipelined
+//! two-request corpus must parse identically no matter how the bytes
+//! are fragmented across socket reads.
+//!
+//! This is the regression net for the PR-8 connection-lifecycle fixes:
+//! the old reader destroyed bytes past `Content-Length` (losing the
+//! second pipelined request) and rescanned the whole head on every
+//! read. Here the corpus is cut at every single split point and at
+//! every pair of split points, and both requests must come out of
+//! [`swip_serve::read_request`] byte-for-byte intact each time.
+
+use std::io::{self, Read};
+
+use swip_serve::{read_request, Request};
+
+/// A reader that yields pre-cut fragments one per `read` call,
+/// simulating arbitrary TCP segmentation.
+struct Fragmented {
+    fragments: Vec<Vec<u8>>,
+    next: usize,
+}
+
+impl Fragmented {
+    fn new(fragments: Vec<Vec<u8>>) -> Self {
+        Fragmented { fragments, next: 0 }
+    }
+}
+
+impl Read for Fragmented {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        while self.next < self.fragments.len() && self.fragments[self.next].is_empty() {
+            self.next += 1;
+        }
+        if self.next >= self.fragments.len() {
+            return Ok(0); // EOF
+        }
+        let fragment = &mut self.fragments[self.next];
+        let n = fragment.len().min(buf.len());
+        buf[..n].copy_from_slice(&fragment[..n]);
+        fragment.drain(..n);
+        if fragment.is_empty() {
+            self.next += 1;
+        }
+        Ok(n)
+    }
+}
+
+/// The pipelined corpus: two POSTs back to back in one byte stream,
+/// with bodies that contain `\r\n\r\n`-free JSON so every split lands
+/// either mid-head, mid-body, or on the request boundary.
+fn corpus() -> Vec<u8> {
+    let b1 = r#"{"configs": ["ftq2_fdp"], "tag": "first"}"#;
+    let b2 = r#"{"configs": ["ftq24_mana"], "tag": "second"}"#;
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(
+        format!(
+            "POST /v1/jobs HTTP/1.1\r\nHost: a\r\nContent-Length: {}\r\n\r\n{b1}",
+            b1.len()
+        )
+        .as_bytes(),
+    );
+    bytes.extend_from_slice(
+        format!(
+            "POST /v1/jobs HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\r\n{b2}",
+            b2.len()
+        )
+        .as_bytes(),
+    );
+    bytes
+}
+
+/// Reads both pipelined requests through `read_request` with a shared
+/// carryover buffer, the way the server's connection loop does.
+fn parse_both(fragments: Vec<Vec<u8>>) -> (Request, Request) {
+    let mut reader = Fragmented::new(fragments);
+    let mut carry = Vec::new();
+    let first = read_request(&mut reader, &mut carry).expect("first request must parse");
+    let second = read_request(&mut reader, &mut carry).expect("second request must parse");
+    assert!(
+        carry.is_empty(),
+        "no bytes may linger after the last request"
+    );
+    (first, second)
+}
+
+fn assert_matches_reference(tag: &str, got: &(Request, Request), want: &(Request, Request)) {
+    for (which, (g, w)) in [(&got.0, &want.0), (&got.1, &want.1)].iter().enumerate() {
+        assert_eq!(g.method, w.method, "{tag}: request {which} method");
+        assert_eq!(g.path, w.path, "{tag}: request {which} path");
+        assert_eq!(g.version, w.version, "{tag}: request {which} version");
+        assert_eq!(g.headers, w.headers, "{tag}: request {which} headers");
+        assert_eq!(g.body, w.body, "{tag}: request {which} body");
+    }
+}
+
+#[test]
+fn every_single_split_point_parses_identically() {
+    let bytes = corpus();
+    let reference = parse_both(vec![bytes.clone()]);
+    for i in 0..=bytes.len() {
+        let got = parse_both(vec![bytes[..i].to_vec(), bytes[i..].to_vec()]);
+        assert_matches_reference(&format!("split at {i}"), &got, &reference);
+    }
+}
+
+#[test]
+fn every_pair_of_split_points_parses_identically() {
+    let bytes = corpus();
+    let reference = parse_both(vec![bytes.clone()]);
+    for i in 0..=bytes.len() {
+        for j in i..=bytes.len() {
+            let got = parse_both(vec![
+                bytes[..i].to_vec(),
+                bytes[i..j].to_vec(),
+                bytes[j..].to_vec(),
+            ]);
+            assert_matches_reference(&format!("splits at {i},{j}"), &got, &reference);
+        }
+    }
+}
+
+#[test]
+fn single_byte_trickle_parses_identically() {
+    let bytes = corpus();
+    let reference = parse_both(vec![bytes.clone()]);
+    let got = parse_both(bytes.iter().map(|&b| vec![b]).collect());
+    assert_matches_reference("one byte per read", &got, &reference);
+}

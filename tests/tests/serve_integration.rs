@@ -316,3 +316,282 @@ fn shutdown_drains_accepted_jobs_and_rejects_new_ones() {
     assert_eq!((queued, running, failed), (0, 0, 0));
     assert_eq!(done, 2);
 }
+
+#[test]
+fn keep_alive_connection_serves_many_requests_with_identical_bytes() {
+    // stride 48 → a 1-workload plan; 3 jobs is still cheap.
+    let h = start(20_000, 48, 2, ServeConfig::default());
+
+    // Three submissions on ONE socket: distinct jobs, one connection.
+    let mut conn = client::Connection::connect(&h.addr).unwrap();
+    let mut ids = Vec::new();
+    for _ in 0..3 {
+        let (status, body) = conn
+            .request("POST", "/v1/jobs", Some(r#"{"configs": ["ftq2_fdp"]}"#))
+            .unwrap();
+        assert_eq!(status, 202, "{body}");
+        ids.push(job_id(&body));
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(
+        ids.len(),
+        3,
+        "keep-alive submissions must yield distinct jobs"
+    );
+
+    // Poll each to done over the same socket, then compare raw report
+    // bytes against a fresh connection per request: the response a
+    // kept-alive client sees must be identical to a fresh client's.
+    for &id in &ids {
+        let started = Instant::now();
+        loop {
+            let (status, body) = conn
+                .request("GET", &format!("/v1/jobs/{id}"), None)
+                .unwrap();
+            assert_eq!(status, 200, "{body}");
+            let state = Json::parse(&body)
+                .unwrap()
+                .get("state")
+                .and_then(|s| s.as_str().map(String::from))
+                .unwrap();
+            match state.as_str() {
+                "done" => break,
+                "failed" => panic!("job {id} failed: {body}"),
+                _ => {
+                    assert!(started.elapsed() < DEADLINE);
+                    thread::sleep(POLL);
+                }
+            }
+        }
+        let path = format!("/v1/jobs/{id}/report");
+        let kept = conn.request_raw("GET", &path, None).unwrap();
+        let fresh = client::Connection::connect(&h.addr)
+            .unwrap()
+            .request_raw("GET", &path, None)
+            .unwrap();
+        assert_eq!(
+            kept, fresh,
+            "kept-alive and fresh-connection responses must be byte-identical"
+        );
+    }
+
+    // The served report is byte-identical to the offline twin.
+    let served_body = {
+        let raw = conn
+            .request_raw("GET", &format!("/v1/jobs/{}/report", ids[0]), None)
+            .unwrap();
+        let text = String::from_utf8(raw).unwrap();
+        text.split_once("\r\n\r\n").unwrap().1.to_string()
+    };
+    let offline_session = SessionBuilder::new()
+        .instructions(20_000)
+        .stride(48)
+        .threads(2)
+        .build()
+        .unwrap();
+    let workloads = offline_session.workloads();
+    let spec = PlanSpec {
+        configs: vec!["ftq2_fdp".to_string()],
+        ..PlanSpec::default()
+    };
+    let plan = ExperimentPlan::from_spec(&spec, &workloads).unwrap();
+    let results = offline_session.run(&plan).unwrap();
+    let offline = build_plan_report(&offline_session, &results).to_json();
+    assert_eq!(served_body, offline, "served report drifted from offline");
+
+    // The requests-per-connection histogram only fills at close; what
+    // must hold mid-flight is that the gauges see this socket.
+    let (status, body) = conn.request("GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    let metrics = Json::parse(&body).unwrap();
+    assert!(metrics.get("conns_open").and_then(Json::as_u64).unwrap() >= 1);
+    assert!(
+        metrics
+            .get("conns_keepalive")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 1
+    );
+
+    let (status, _) = client::request(&h.addr, "POST", "/v1/shutdown", None).unwrap();
+    assert_eq!(status, 202);
+    h.server.join().unwrap().unwrap();
+}
+
+#[test]
+fn pipelined_submissions_in_one_write_are_both_answered() {
+    // Regression for the pipelined-byte-loss bug: two POSTs written in a
+    // single burst must both be parsed and answered — the old
+    // `read_request` destroyed the second request's bytes.
+    let h = start(20_000, 48, 2, ServeConfig::default());
+
+    let body = r#"{"configs": ["ftq2_fdp"]}"#;
+    let one = format!(
+        "POST /v1/jobs HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let mut conn = client::Connection::connect(&h.addr).unwrap();
+    conn.send_raw(format!("{one}{one}").as_bytes()).unwrap();
+
+    let mut ids = Vec::new();
+    for _ in 0..2 {
+        let raw = conn.read_framed_response().unwrap();
+        let text = String::from_utf8(raw).unwrap();
+        assert!(text.starts_with("HTTP/1.1 202"), "{text}");
+        ids.push(job_id(text.split_once("\r\n\r\n").unwrap().1));
+    }
+    assert_ne!(
+        ids[0], ids[1],
+        "pipelined submissions collapsed into one job"
+    );
+
+    for &id in &ids {
+        wait_done(&h.addr, id);
+    }
+    let (status, _) = client::request(&h.addr, "POST", "/v1/shutdown", None).unwrap();
+    assert_eq!(status, 202);
+    h.server.join().unwrap().unwrap();
+}
+
+#[test]
+fn connection_table_is_bounded_and_sheds_with_503() {
+    use std::io::{Read, Write};
+
+    let h = start(
+        20_000,
+        48,
+        2,
+        ServeConfig {
+            max_conns: 8,
+            ..ServeConfig::default()
+        },
+    );
+
+    // Fill the table and then some: 8 held + 50 shed.
+    let mut held = Vec::new();
+    for _ in 0..58 {
+        let s = std::net::TcpStream::connect(&h.addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_millis(300)))
+            .unwrap();
+        held.push(s);
+    }
+
+    let started = Instant::now();
+    while h.ctx.conns_shed() < 50 && started.elapsed() < Duration::from_secs(10) {
+        thread::sleep(POLL);
+    }
+    assert_eq!(h.ctx.conns_shed(), 50, "exactly the overflow should shed");
+
+    let mut shed = 0;
+    let mut quiet = 0;
+    for s in &mut held {
+        let mut buf = [0u8; 512];
+        match s.read(&mut buf) {
+            Ok(n) if n > 0 => {
+                let text = String::from_utf8_lossy(&buf[..n]);
+                assert!(text.starts_with("HTTP/1.1 503"), "{text}");
+                assert!(text.contains("Connection: close"), "{text}");
+                shed += 1;
+            }
+            // EOF or read timeout: an accepted socket the server is
+            // patiently holding.
+            _ => quiet += 1,
+        }
+    }
+    assert_eq!((shed, quiet), (50, 8));
+
+    // A held (accepted) connection is still fully serviceable.
+    let mut accepted = held.remove(0);
+    accepted
+        .write_all(b"POST /v1/shutdown HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n")
+        .unwrap();
+    accepted
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut response = Vec::new();
+    let mut buf = [0u8; 512];
+    loop {
+        match accepted.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => response.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    let text = String::from_utf8_lossy(&response);
+    assert!(text.starts_with("HTTP/1.1 202"), "{text}");
+
+    drop(held);
+    h.server.join().unwrap().unwrap();
+}
+
+#[test]
+fn drain_exits_cleanly_with_idle_kept_alive_connections_open() {
+    let h = start(20_000, 48, 2, ServeConfig::default());
+
+    // Park two kept-alive connections (each has served a request, so
+    // drain sees genuine idle keep-alive state, not a fresh socket).
+    let mut parked = Vec::new();
+    for _ in 0..2 {
+        let mut conn = client::Connection::connect(&h.addr).unwrap();
+        let (status, _) = conn.request("GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        parked.push(conn);
+    }
+
+    let (status, _) = client::request(&h.addr, "POST", "/v1/shutdown", None).unwrap();
+    assert_eq!(status, 202);
+
+    // The parked clients never hang up; the server must not wait on
+    // them. Join on a watchdog thread so a regression fails fast
+    // instead of hanging the suite.
+    let server = h.server;
+    let (tx, rx) = std::sync::mpsc::channel();
+    thread::spawn(move || {
+        let _ = tx.send(server.join().unwrap());
+    });
+    let exit = rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("drain must not wait for idle kept-alive connections");
+    exit.unwrap();
+    assert!(h.ctx.is_draining());
+    drop(parked);
+}
+
+#[test]
+fn stalled_mid_request_times_out_with_408() {
+    use std::io::{Read, Write};
+
+    let h = start(
+        20_000,
+        48,
+        2,
+        ServeConfig {
+            read_timeout: Duration::from_millis(200),
+            ..ServeConfig::default()
+        },
+    );
+
+    // Send half a request head and stall.
+    let mut s = std::net::TcpStream::connect(&h.addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(b"GET /healthz HTT").unwrap();
+
+    let mut response = Vec::new();
+    let mut buf = [0u8; 512];
+    loop {
+        match s.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => response.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    let text = String::from_utf8_lossy(&response);
+    assert!(text.starts_with("HTTP/1.1 408"), "{text}");
+    assert!(text.contains("Connection: close"), "{text}");
+    assert!(h.ctx.conn_timeouts() >= 1);
+
+    let (status, _) = client::request(&h.addr, "POST", "/v1/shutdown", None).unwrap();
+    assert_eq!(status, 202);
+    h.server.join().unwrap().unwrap();
+}
