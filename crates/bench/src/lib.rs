@@ -72,7 +72,8 @@ mod session;
 pub use config::{AsmdbTuning, ConfigId, ConfigParseError};
 pub use engine::EngineError;
 pub use measure::{
-    append_measurement, measure_throughput, ConfigThroughput, ThroughputHistory, ThroughputReport,
+    append_measurement, measure_throughput, migrate_history_file, ConfigThroughput,
+    ThroughputHistory, ThroughputReport,
 };
 pub use plan::{ExperimentPlan, PlanError};
 pub use report::{build_plan_report, build_run_report, emit_report, session_counter_pairs};

@@ -276,6 +276,39 @@ impl ThroughputHistory {
         self.entries.last()
     }
 
+    /// Per-config regressions of the newest entry against the previous
+    /// one: every configuration whose `instrs_per_sec` dropped by more
+    /// than `threshold_pct` percent, as human-readable lines. Empty when
+    /// the history has fewer than two entries or nothing regressed.
+    /// Configurations present in only one of the two entries are skipped —
+    /// a grown or shrunk config axis is not a regression.
+    pub fn regressions(&self, threshold_pct: f64) -> Vec<String> {
+        let [.., prev, last] = self.entries.as_slice() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for cur in &last.configs {
+            let Some(old) = prev.configs.iter().find(|c| c.config == cur.config) else {
+                continue;
+            };
+            if old.instrs_per_sec <= 0.0 {
+                continue;
+            }
+            let drop_pct = (old.instrs_per_sec - cur.instrs_per_sec) / old.instrs_per_sec * 100.0;
+            if drop_pct > threshold_pct {
+                out.push(format!(
+                    "{}: {:.0} -> {:.0} instrs/s ({:.1}% drop, threshold {:.0}%)",
+                    cur.config.label(),
+                    old.instrs_per_sec,
+                    cur.instrs_per_sec,
+                    drop_pct,
+                    threshold_pct
+                ));
+            }
+        }
+        out
+    }
+
     /// A human-readable summary (the `swip report` rendering): the latest
     /// entry in full, plus the aggregate trajectory across entries.
     pub fn summary(&self) -> String {
@@ -329,6 +362,33 @@ pub fn append_measurement(
     history.entries.push(report.clone());
     std::fs::write(&path, history.to_json().render_pretty())?;
     Ok((path, history.entries.len()))
+}
+
+/// Migrates the history file at `path` to the schema-v2 history format in
+/// place. A bare v1 report becomes a single-entry history; a file already
+/// in history form is left untouched. Returns the entry count and whether
+/// the file was rewritten.
+///
+/// # Errors
+///
+/// I/O failures, and [`io::ErrorKind::InvalidData`] when the file is
+/// neither a throughput history nor a v1 report.
+pub fn migrate_history_file(path: impl AsRef<Path>) -> io::Result<(usize, bool)> {
+    let path = path.as_ref();
+    let invalid = |e: String| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
+    };
+    let text = std::fs::read_to_string(path)?;
+    let json = Json::parse(&text).map_err(|e| invalid(e.to_string()))?;
+    let history = ThroughputHistory::from_json(&json).map_err(invalid)?;
+    if ThroughputHistory::is_history_json(&json) {
+        return Ok((history.entries.len(), false));
+    }
+    std::fs::write(path, history.to_json().render_pretty())?;
+    Ok((history.entries.len(), true))
 }
 
 /// Measures simulator throughput over the session's workload sweep.
@@ -483,6 +543,86 @@ mod tests {
         // Corrupt tracked files stop the run instead of being replaced.
         std::fs::write(&path, "{\"kind\": \"mystery\"}").unwrap();
         let err = append_measurement(&report, &path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn regressions_compare_newest_entry_to_previous() {
+        let row = |ips: f64| ConfigThroughput {
+            config: ConfigId::Base,
+            instructions: 1_000,
+            cycles: 2_000,
+            seconds: 0.1,
+            instrs_per_sec: ips,
+        };
+        let entry = |ips: f64| ThroughputReport {
+            instructions: 1_000,
+            stride: 16,
+            workloads: 3,
+            configs: vec![row(ips)],
+            total_instructions: 1_000,
+            total_seconds: 0.1,
+        };
+
+        // Fewer than two entries: nothing to compare.
+        let mut history = ThroughputHistory::default();
+        assert!(history.regressions(25.0).is_empty());
+        history.entries.push(entry(1_000.0));
+        assert!(history.regressions(25.0).is_empty());
+
+        // A 20% drop passes a 25% gate; a 30% drop fails it.
+        history.entries.push(entry(800.0));
+        assert!(history.regressions(25.0).is_empty());
+        history.entries.push(entry(560.0)); // 30% below 800
+        let found = history.regressions(25.0);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].contains(ConfigId::Base.label()), "{}", found[0]);
+        assert!(found[0].contains("30.0% drop"), "{}", found[0]);
+
+        // Only the newest pair matters: recovering clears the gate.
+        history.entries.push(entry(900.0));
+        assert!(history.regressions(25.0).is_empty());
+
+        // A config present in only one entry is skipped, not flagged.
+        history.entries.push(ThroughputReport {
+            configs: vec![ConfigThroughput {
+                config: ConfigId::Fdp,
+                ..row(100.0)
+            }],
+            ..entry(100.0)
+        });
+        assert!(history.regressions(25.0).is_empty());
+    }
+
+    #[test]
+    fn migrate_history_file_converts_v1_in_place() {
+        let session = SessionBuilder::new()
+            .instructions(2_000)
+            .stride(24)
+            .build()
+            .unwrap();
+        let report = measure_throughput(&session);
+        let path = std::env::temp_dir().join("swip_measure_migrate_test.json");
+        let _ = std::fs::remove_file(&path);
+
+        // A bare v1 file is rewritten as a one-entry v2 history.
+        report.write_to(&path).unwrap();
+        let (n, migrated) = migrate_history_file(&path).unwrap();
+        assert_eq!((n, migrated), (1, true));
+        let json = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(ThroughputHistory::is_history_json(&json));
+        assert_eq!(json.get("version").and_then(Json::as_u64), Some(2));
+
+        // Idempotent: a second migration is a no-op.
+        let before = std::fs::read_to_string(&path).unwrap();
+        let (n, migrated) = migrate_history_file(&path).unwrap();
+        assert_eq!((n, migrated), (1, false));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), before);
+
+        // Corrupt files are typed errors.
+        std::fs::write(&path, "{\"kind\": \"mystery\"}").unwrap();
+        let err = migrate_history_file(&path).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         let _ = std::fs::remove_file(&path);
     }

@@ -187,6 +187,18 @@ impl ExperimentPlan {
         self.job_count() == 0
     }
 
+    /// The plan's independent cells in workload-major plan order: one
+    /// `(workload name, config label)` pair per job. This is the shard
+    /// axis for `swip-fleet` — every cell is an independent unit of work,
+    /// and reassembling cells in this order reproduces the single-node
+    /// report byte-for-byte.
+    pub fn cells(&self) -> Vec<(String, String)> {
+        self.jobs()
+            .into_iter()
+            .map(|(w, c)| (self.workloads[w].name.clone(), c.label().to_string()))
+            .collect()
+    }
+
     /// All jobs in workload-major order: `(workload index, config)`.
     pub(crate) fn jobs(&self) -> Vec<(usize, ConfigId)> {
         let mut jobs = Vec::with_capacity(self.job_count());

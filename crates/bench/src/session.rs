@@ -25,6 +25,7 @@ use swip_asmdb::{Asmdb, AsmdbConfig, AsmdbOutput};
 use swip_cache::ConfigError;
 use swip_core::{SimConfig, SimReport, Simulator};
 use swip_trace::Trace;
+use swip_types::Fnv1a;
 use swip_workloads::{cvp1_suite, generate, WorkloadSpec};
 
 use crate::{AsmdbTuning, ConfigId};
@@ -384,22 +385,108 @@ impl Session {
         report
     }
 
-    fn cached_trace_path(&self, spec: &WorkloadSpec) -> Option<PathBuf> {
-        self.cache_dir
-            .as_ref()
-            .map(|d| d.join(format!("{}-{}.swip", spec.name, spec.instructions)))
+    /// The configured trace cache directory, if any.
+    pub fn cache_dir(&self) -> Option<&std::path::Path> {
+        self.cache_dir.as_deref()
+    }
+
+    /// The content address of `spec`'s trace: an FNV-1a hash over every
+    /// generator parameter (plus [`TRACE_CACHE_FORMAT`]), as 16 hex
+    /// digits. A workload spec fully determines its trace, so two specs
+    /// with equal fingerprints generate byte-identical traces — and two
+    /// sessions with *different* generator tunings sharing one cache
+    /// directory get disjoint filenames instead of reading each other's
+    /// stale artifacts.
+    pub fn trace_fingerprint(&self, spec: &WorkloadSpec) -> String {
+        let mut h = Fnv1a::new();
+        h.field(TRACE_CACHE_FORMAT.to_le_bytes().as_slice());
+        h.field(spec.name.as_bytes());
+        h.field(format!("{:?}", spec.family).as_bytes());
+        h.field(&spec.seed.to_le_bytes());
+        h.field(&(spec.functions as u64).to_le_bytes());
+        h.field(&(spec.avg_blocks as u64).to_le_bytes());
+        h.field(&(spec.avg_block_instrs as u64).to_le_bytes());
+        h.field(&(spec.max_call_depth as u64).to_le_bytes());
+        h.field(&spec.predictable_branch_fraction.to_bits().to_le_bytes());
+        h.field(&spec.indirect_call_fraction.to_bits().to_le_bytes());
+        h.field(&spec.load_fraction.to_bits().to_le_bytes());
+        h.field(&spec.store_fraction.to_bits().to_le_bytes());
+        h.field(&spec.hot_exponent.to_bits().to_le_bytes());
+        h.field(&spec.loop_fraction.to_bits().to_le_bytes());
+        h.field(&spec.root_persistence.to_bits().to_le_bytes());
+        h.field(&spec.instructions.to_le_bytes());
+        h.finish()
+    }
+
+    /// Where `spec`'s trace lives in the disk cache (whether or not it has
+    /// been materialized yet); `None` without a cache directory. The
+    /// filename is content-addressed: `{name}-{fingerprint}.swip`.
+    pub fn trace_cache_path(&self, spec: &WorkloadSpec) -> Option<PathBuf> {
+        self.cache_dir.as_ref().map(|d| {
+            d.join(format!(
+                "{}-{}.swip",
+                spec.name,
+                self.trace_fingerprint(spec)
+            ))
+        })
+    }
+
+    /// Resolves a trace fingerprint back to the session workload that owns
+    /// it, for the `GET`/`PUT /v1/cache/{fingerprint}` routes.
+    pub fn spec_for_fingerprint(&self, fingerprint: &str) -> Option<WorkloadSpec> {
+        self.workloads()
+            .into_iter()
+            .find(|spec| self.trace_fingerprint(spec) == fingerprint)
+    }
+
+    /// Installs externally supplied trace bytes into the disk cache under
+    /// `spec`'s content address, validating that they decode to a trace
+    /// for that workload first. Used by the fleet coordinator to ship a
+    /// warm cache to cold workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when no cache directory is configured, the bytes
+    /// do not decode, the decoded trace names a different workload, or the
+    /// write fails.
+    pub fn import_cached_trace(&self, spec: &WorkloadSpec, bytes: &[u8]) -> Result<(), String> {
+        let path = self
+            .trace_cache_path(spec)
+            .ok_or_else(|| "no cache directory configured".to_string())?;
+        let trace = Trace::read_from(bytes).map_err(|e| format!("trace does not decode: {e}"))?;
+        if trace.name() != spec.name {
+            return Err(format!(
+                "trace is for workload {:?}, expected {:?}",
+                trace.name(),
+                spec.name
+            ));
+        }
+        let dir = path
+            .parent()
+            .ok_or_else(|| "cache path has no parent".to_string())?;
+        fs::create_dir_all(dir).map_err(|e| format!("creating cache dir: {e}"))?;
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        fs::write(&tmp, bytes).map_err(|e| format!("writing cache file: {e}"))?;
+        fs::rename(&tmp, &path).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            format!("installing cache file: {e}")
+        })
     }
 
     fn load_cached_trace(&self, spec: &WorkloadSpec) -> Option<Trace> {
-        let path = self.cached_trace_path(spec)?;
+        let path = self.trace_cache_path(spec)?;
         let file = fs::File::open(path).ok()?;
-        Trace::read_from(file).ok()
+        let trace = Trace::read_from(file).ok()?;
+        // The content address makes cross-spec collisions impossible for
+        // honestly stored files; the name check guards against a corrupt
+        // or hand-renamed cache entry.
+        (trace.name() == spec.name).then_some(trace)
     }
 
     /// Best-effort disk-cache store: written to a temporary name and
     /// renamed, so concurrent sessions never observe a partial file.
     fn store_cached_trace(&self, spec: &WorkloadSpec, trace: &Trace) {
-        let Some(path) = self.cached_trace_path(spec) else {
+        let Some(path) = self.trace_cache_path(spec) else {
             return;
         };
         let Some(dir) = path.parent() else { return };
@@ -417,6 +504,11 @@ impl Session {
         }
     }
 }
+
+/// Version stamp folded into every trace-cache fingerprint; bump when the
+/// `SWIP` binary format or the generator algorithm changes so stale cache
+/// files from older builds miss instead of decoding into wrong results.
+const TRACE_CACHE_FORMAT: u64 = 1;
 
 impl fmt::Debug for Session {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -489,6 +581,120 @@ mod tests {
         let w = s.workloads();
         assert_eq!(w.len(), 3); // 48 / 16
         assert_eq!(w[0].instructions, 10_000);
+    }
+
+    #[test]
+    fn trace_fingerprint_covers_generator_tunings() {
+        let s = SessionBuilder::new().instructions(5_000).build().unwrap();
+        let spec = &s.workloads()[0];
+        let base = s.trace_fingerprint(spec);
+        assert_eq!(base, s.trace_fingerprint(spec));
+        let mut tuned = spec.clone();
+        tuned.seed ^= 1;
+        assert_ne!(base, s.trace_fingerprint(&tuned));
+        let mut tuned = spec.clone();
+        tuned.hot_exponent += 0.125;
+        assert_ne!(base, s.trace_fingerprint(&tuned));
+        let mut tuned = spec.clone();
+        tuned.instructions += 1;
+        assert_ne!(base, s.trace_fingerprint(&tuned));
+    }
+
+    #[test]
+    fn shared_cache_dir_does_not_cross_hit_between_tunings() {
+        // Two sessions share one cache directory and ask for a workload
+        // with the same name and instruction count but different generator
+        // seeds. Before content addressing, the second session would read
+        // the first session's trace (the filename was name+instructions
+        // only); now the filenames differ and each session generates its
+        // own trace.
+        let dir = std::env::temp_dir().join(format!("swip-cache-collision-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+
+        let make = || {
+            SessionBuilder::new()
+                .instructions(5_000)
+                .stride(48)
+                .cache_dir(&dir)
+                .build()
+                .unwrap()
+        };
+        let warm = make();
+        let spec = warm.workloads()[0].clone();
+        let mut tuned = spec.clone();
+        tuned.seed ^= 0xdead_beef;
+        assert_ne!(
+            warm.trace_cache_path(&spec),
+            warm.trace_cache_path(&tuned),
+            "different tunings must get disjoint cache filenames"
+        );
+
+        warm.trace(&spec); // generates and stores spec's trace
+        let cold = make();
+        let imposter = cold.trace(&tuned);
+        let counters = cold.counters();
+        assert_eq!(
+            counters.trace_disk_hits, 0,
+            "a differently-tuned spec must not hit the other tuning's cache file"
+        );
+        assert_eq!(counters.trace_generations, 1);
+        // And the honest spec *does* hit disk in a fresh session.
+        let reuse = make();
+        let cached = reuse.trace(&spec);
+        assert_eq!(reuse.counters().trace_disk_hits, 1);
+        assert_eq!(cached.name(), spec.name);
+        assert_eq!(imposter.name(), tuned.name);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn import_cached_trace_validates_and_installs() {
+        let dir = std::env::temp_dir().join(format!("swip-cache-import-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+
+        let donor = SessionBuilder::new()
+            .instructions(5_000)
+            .stride(48)
+            .cache_dir(dir.join("donor"))
+            .build()
+            .unwrap();
+        let spec = donor.workloads()[0].clone();
+        donor.trace(&spec);
+        let bytes = fs::read(donor.trace_cache_path(&spec).unwrap()).unwrap();
+
+        let cold = SessionBuilder::new()
+            .instructions(5_000)
+            .stride(48)
+            .cache_dir(dir.join("cold"))
+            .build()
+            .unwrap();
+        assert!(cold.import_cached_trace(&spec, &bytes).is_ok());
+        assert_eq!(cold.counters().trace_generations, 0);
+        cold.trace(&spec);
+        let counters = cold.counters();
+        assert_eq!(
+            counters.trace_disk_hits, 1,
+            "imported bytes must serve the lookup"
+        );
+        assert_eq!(counters.trace_generations, 0);
+
+        // Garbage bytes and mismatched workloads are rejected.
+        assert!(cold.import_cached_trace(&spec, b"not a trace").is_err());
+        let mut other = cold.workloads()[0].clone();
+        other.name = "someone_else".to_string();
+        assert!(cold.import_cached_trace(&other, &bytes).is_err());
+
+        // No cache dir configured → typed refusal.
+        let no_cache = SessionBuilder::new().instructions(5_000).build().unwrap();
+        assert!(no_cache.import_cached_trace(&spec, &bytes).is_err());
+
+        // Fingerprint → spec resolution round-trips.
+        let fp = cold.trace_fingerprint(&spec);
+        assert_eq!(cold.spec_for_fingerprint(&fp).unwrap().name, spec.name);
+        assert!(cold.spec_for_fingerprint("0000000000000000").is_none());
+
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -36,7 +36,18 @@
 //! * `swip report FILE` — summarize a `report.json`; `swip report --diff
 //!   A B` — print the counter-level differences between two run reports
 //!   and exit like `diff(1)`: 0 when they match, 1 when they differ, 2
-//!   when a file cannot be read or parsed;
+//!   when a file cannot be read or parsed; `swip report --migrate-history
+//!   FILE` — rewrite a bare v1 `BENCH_throughput.json` as a schema-v2
+//!   history in place; `swip report --check-regression FILE [--threshold
+//!   PCT]` — compare the newest history entry against the previous one
+//!   per configuration and exit 1 when any `instrs_per_sec` dropped by
+//!   more than the threshold (default 25%), 2 when the file is
+//!   unreadable;
+//! * `swip fleet run` — shard an experiment plan across `swip serve`
+//!   workers (`--worker HOST:PORT`, repeatable) and merge the partial
+//!   reports into one `RunReport` byte-identical to a single-node run;
+//!   `--offline` runs the same plan locally through the session engine
+//!   instead (the reference the fleet output is compared against);
 //! * `swip serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!   [--max-conns N] [--keep-alive-timeout SECS] [--instructions N]
 //!   [--stride N] [--job-threads K] [--cache-dir DIR]` — run the
@@ -148,6 +159,50 @@ pub enum Command {
         /// Run-report JSON paths: one (summary) or two (`--diff`).
         files: Vec<String>,
     },
+    /// Rewrite a bare v1 throughput report as a schema-v2 history in
+    /// place (`swip report --migrate-history`).
+    MigrateHistory {
+        /// Path to the tracked `BENCH_throughput.json`.
+        file: String,
+    },
+    /// Check the newest throughput-history entry for per-config
+    /// regressions against the previous entry (`swip report
+    /// --check-regression`).
+    CheckRegression {
+        /// Path to the throughput history (v1 files are accepted).
+        file: String,
+        /// Maximum tolerated per-config `instrs_per_sec` drop, percent.
+        threshold: f64,
+    },
+    /// Shard an experiment plan across `swip serve` workers, or run it
+    /// locally with `--offline`.
+    Fleet {
+        /// Worker addresses (`--worker`, repeatable).
+        workers: Vec<String>,
+        /// Run the plan locally instead of dispatching to workers.
+        offline: bool,
+        /// Dynamic instruction budget per workload.
+        instructions: u64,
+        /// Workload suite stride (1 = all 48, 8 = every 8th, …).
+        stride: usize,
+        /// Workload names selecting a plan subset (empty = whole suite).
+        workloads: Vec<String>,
+        /// Configuration labels (empty = the paper's six).
+        configs: Vec<String>,
+        /// Prefetcher labels unioned into the configuration axis.
+        prefetchers: Vec<String>,
+        /// Session threads for the offline run / plan resolution.
+        job_threads: Option<usize>,
+        /// Write the merged report JSON here instead of summarizing.
+        out: Option<String>,
+        /// Local trace-cache directory; enables cache shipping to
+        /// workers before the sweep.
+        cache_dir: Option<String>,
+        /// Wall-clock budget per shard attempt, in seconds.
+        shard_timeout: u64,
+        /// Attempts per shard before the run fails.
+        retries: u32,
+    },
     /// Serve the experiment engine over HTTP.
     Serve {
         /// Listen address (`HOST:PORT`; port 0 picks a free port).
@@ -204,6 +259,13 @@ USAGE:
              [--asmdb default|aggressive|wide] [--cache-dir DIR] [--measure]
   swip report FILE
   swip report --diff FILE FILE     (exits 0 match / 1 differ / 2 unreadable)
+  swip report --migrate-history FILE
+  swip report --check-regression FILE [--threshold PCT]
+                                   (exits 0 clean / 1 regression / 2 unreadable)
+  swip fleet run (--worker HOST:PORT)... | --offline
+             [--workload NAME]... [--config LABEL]... [--prefetcher NAME]...
+             [--instructions N] [--stride N] [--job-threads K]
+             [--cache-dir DIR] [--shard-timeout SECS] [--retries N] [--out FILE]
   swip serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
              [--max-conns N] [--keep-alive-timeout SECS]
              [--instructions N] [--stride N] [--job-threads K] [--cache-dir DIR]
@@ -422,15 +484,59 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
         }
         "report" => {
             let mut diff = false;
+            let mut migrate = None;
+            let mut check = None;
+            let mut threshold = None;
             let mut files = Vec::new();
-            for a in it {
+            while let Some(a) = it.next() {
                 match a {
                     "--diff" => diff = true,
+                    "--migrate-history" => {
+                        migrate = Some(take_value(&mut it, a)?.to_string());
+                    }
+                    "--check-regression" => {
+                        check = Some(take_value(&mut it, a)?.to_string());
+                    }
+                    "--threshold" => {
+                        threshold = Some(parse_float(take_value(&mut it, a)?)?);
+                    }
                     flag if flag.starts_with("--") => {
                         return Err(UsageError(format!("unknown flag {flag}")))
                     }
                     file => files.push(file.to_string()),
                 }
+            }
+            let exclusive = diff as usize + migrate.is_some() as usize + check.is_some() as usize;
+            if exclusive > 1 {
+                return Err(UsageError(
+                    "--diff, --migrate-history, and --check-regression are mutually \
+                     exclusive"
+                        .into(),
+                ));
+            }
+            if threshold.is_some() && check.is_none() {
+                return Err(UsageError("--threshold requires --check-regression".into()));
+            }
+            if let Some(file) = migrate {
+                if !files.is_empty() {
+                    return Err(UsageError(
+                        "report --migrate-history takes exactly one FILE".into(),
+                    ));
+                }
+                return Ok(Command::MigrateHistory { file });
+            }
+            if let Some(file) = check {
+                if !files.is_empty() {
+                    return Err(UsageError(
+                        "report --check-regression takes exactly one FILE".into(),
+                    ));
+                }
+                let threshold = threshold.unwrap_or(25.0);
+                // NaN must fail too, so the finite check is explicit.
+                if !threshold.is_finite() || threshold <= 0.0 {
+                    return Err(UsageError("--threshold must be positive".into()));
+                }
+                return Ok(Command::CheckRegression { file, threshold });
             }
             match (diff, files.len()) {
                 (false, 1) | (true, 2) => Ok(Command::Report { files }),
@@ -439,6 +545,78 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
                     "report --diff requires exactly two FILEs".into(),
                 )),
             }
+        }
+        "fleet" => {
+            match it.next() {
+                Some("run") => {}
+                Some(other) => {
+                    return Err(UsageError(format!(
+                        "unknown fleet subcommand {other} (expected run)"
+                    )))
+                }
+                None => return Err(UsageError("fleet requires a subcommand (run)".into())),
+            }
+            let mut workers = Vec::new();
+            let mut offline = false;
+            let mut instructions = 300_000u64;
+            let mut stride = 1usize;
+            let mut workloads = Vec::new();
+            let mut configs = Vec::new();
+            let mut prefetchers = Vec::new();
+            let mut job_threads = None;
+            let mut out = None;
+            let mut cache_dir = None;
+            let mut shard_timeout = 120u64;
+            let mut retries = 3u32;
+            while let Some(a) = it.next() {
+                match a {
+                    "--worker" => workers.push(take_value(&mut it, a)?.to_string()),
+                    "--offline" => offline = true,
+                    "--instructions" => instructions = parse_num(take_value(&mut it, a)?)?,
+                    "--stride" => stride = parse_num(take_value(&mut it, a)?)? as usize,
+                    "--workload" => workloads.push(take_value(&mut it, a)?.to_string()),
+                    "--config" => configs.push(take_value(&mut it, a)?.to_string()),
+                    "--prefetcher" => prefetchers.push(take_value(&mut it, a)?.to_string()),
+                    "--job-threads" => {
+                        job_threads = Some(parse_num(take_value(&mut it, a)?)? as usize);
+                    }
+                    "--out" => out = Some(take_value(&mut it, a)?.to_string()),
+                    "--cache-dir" => cache_dir = Some(take_value(&mut it, a)?.to_string()),
+                    "--shard-timeout" => shard_timeout = parse_num(take_value(&mut it, a)?)?,
+                    "--retries" => retries = parse_num(take_value(&mut it, a)?)? as u32,
+                    other => return Err(UsageError(format!("unknown flag {other}"))),
+                }
+            }
+            if offline && !workers.is_empty() {
+                return Err(UsageError(
+                    "--offline and --worker are mutually exclusive".into(),
+                ));
+            }
+            if !offline && workers.is_empty() {
+                return Err(UsageError(
+                    "fleet run requires at least one --worker (or --offline)".into(),
+                ));
+            }
+            if shard_timeout == 0 {
+                return Err(UsageError("--shard-timeout must be positive".into()));
+            }
+            if retries == 0 {
+                return Err(UsageError("--retries must be positive".into()));
+            }
+            Ok(Command::Fleet {
+                workers,
+                offline,
+                instructions,
+                stride,
+                workloads,
+                configs,
+                prefetchers,
+                job_threads,
+                out,
+                cache_dir,
+                shard_timeout,
+                retries,
+            })
         }
         "serve" => {
             let mut addr = "127.0.0.1:8080".to_string();
@@ -503,6 +681,11 @@ pub fn parse(args: &[&str]) -> Result<Command, UsageError> {
 fn parse_num(s: &str) -> Result<u64, UsageError> {
     s.replace('_', "")
         .parse()
+        .map_err(|_| UsageError(format!("not a number: {s}")))
+}
+
+fn parse_float(s: &str) -> Result<f64, UsageError> {
+    s.parse()
         .map_err(|_| UsageError(format!("not a number: {s}")))
 }
 
@@ -763,6 +946,125 @@ pub fn execute(cmd: Command) -> Result<u8, Box<dyn Error>> {
                     }
                 }
                 _ => unreachable!("parse() enforces one or two files"),
+            }
+        }
+        Command::MigrateHistory { file } => match swip_bench::migrate_history_file(&file) {
+            Ok((entries, true)) => {
+                println!("migrated {file} to history schema v2 ({entries} entries)");
+            }
+            Ok((entries, false)) => {
+                println!("{file} is already a schema-v2 history ({entries} entries)");
+            }
+            Err(e) => {
+                eprintln!("error: could not migrate {file}: {e}");
+                return Ok(2);
+            }
+        },
+        Command::CheckRegression { file, threshold } => {
+            // diff(1)-style exit codes: 0 clean, 1 regression, 2
+            // unreadable — check.sh gates on this.
+            let text = match std::fs::read_to_string(&file) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: could not read {file}: {e}");
+                    return Ok(2);
+                }
+            };
+            let history = match swip_report::Json::parse(&text)
+                .map_err(|e| e.to_string())
+                .and_then(|json| swip_bench::ThroughputHistory::from_json(&json))
+            {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("error: {file}: {e}");
+                    return Ok(2);
+                }
+            };
+            let regressions = history.regressions(threshold);
+            if regressions.is_empty() {
+                println!(
+                    "{file}: no per-config regression above {threshold}% \
+                     ({} entries)",
+                    history.entries.len()
+                );
+            } else {
+                for r in &regressions {
+                    println!("regression: {r}");
+                }
+                return Ok(1);
+            }
+        }
+        Command::Fleet {
+            workers,
+            offline,
+            instructions,
+            stride,
+            workloads,
+            configs,
+            prefetchers,
+            job_threads,
+            out,
+            cache_dir,
+            shard_timeout,
+            retries,
+        } => {
+            let spec = swip_report::PlanSpec {
+                workloads,
+                configs,
+                insertions: Vec::new(),
+                prefetchers,
+            };
+            let mut builder = swip_bench::SessionBuilder::new()
+                .instructions(instructions)
+                .stride(stride);
+            if let Some(t) = job_threads {
+                builder = builder.threads(t);
+            }
+            if let Some(dir) = &cache_dir {
+                builder = builder.cache_dir(dir.clone());
+            }
+            let session = builder.build()?;
+            let plan = swip_bench::ExperimentPlan::from_spec(&spec, &session.workloads())?;
+            let report = if offline {
+                let results = session.run(&plan)?;
+                swip_bench::build_plan_report(&session, &results)
+            } else {
+                if cache_dir.is_some() {
+                    let warm = swip_fleet::warm_workers(&session, &plan, &workers);
+                    println!(
+                        "cache shipping: {} shipped, {} already warm, {} skipped, \
+                         {} failed",
+                        warm.shipped, warm.already_warm, warm.skipped, warm.failed
+                    );
+                }
+                let config = swip_fleet::FleetConfig {
+                    workers,
+                    shard_timeout: std::time::Duration::from_secs(shard_timeout),
+                    max_attempts: retries,
+                    ..swip_fleet::FleetConfig::default()
+                };
+                let run = swip_fleet::run_plan(&plan, &config)?;
+                for w in &run.stats.workers {
+                    println!(
+                        "worker {}: {} shards{}",
+                        w.addr,
+                        w.shards_done,
+                        if w.dead { " (died mid-sweep)" } else { "" }
+                    );
+                }
+                println!(
+                    "fleet: {} shards, {} re-dispatched after worker death, \
+                     {} retried",
+                    run.stats.shards, run.stats.redispatches, run.stats.retries
+                );
+                run.report
+            };
+            match out {
+                Some(path) => {
+                    std::fs::write(&path, report.to_json())?;
+                    println!("wrote {path}");
+                }
+                None => print!("{}", report.summary()),
             }
         }
         Command::Serve {
@@ -1050,6 +1352,97 @@ mod tests {
         let err = parse(&["bench", "--prefetcher", "markov"]).unwrap_err();
         assert!(err.0.contains("markov"), "{err}");
         assert!(err.0.contains("shadow_btb"), "{err}");
+        assert_eq!(
+            parse(&["report", "--migrate-history", "h.json"]),
+            Ok(Command::MigrateHistory {
+                file: "h.json".into()
+            })
+        );
+        assert_eq!(
+            parse(&["report", "--check-regression", "h.json"]),
+            Ok(Command::CheckRegression {
+                file: "h.json".into(),
+                threshold: 25.0
+            })
+        );
+        assert_eq!(
+            parse(&[
+                "report",
+                "--check-regression",
+                "h.json",
+                "--threshold",
+                "10.5"
+            ]),
+            Ok(Command::CheckRegression {
+                file: "h.json".into(),
+                threshold: 10.5
+            })
+        );
+        assert_eq!(
+            parse(&[
+                "fleet",
+                "run",
+                "--worker",
+                "127.0.0.1:1",
+                "--worker",
+                "127.0.0.1:2"
+            ]),
+            Ok(Command::Fleet {
+                workers: vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()],
+                offline: false,
+                instructions: 300_000,
+                stride: 1,
+                workloads: vec![],
+                configs: vec![],
+                prefetchers: vec![],
+                job_threads: None,
+                out: None,
+                cache_dir: None,
+                shard_timeout: 120,
+                retries: 3
+            })
+        );
+        assert_eq!(
+            parse(&[
+                "fleet",
+                "run",
+                "--offline",
+                "--instructions",
+                "20_000",
+                "--stride",
+                "16",
+                "--workload",
+                "secret_srv12",
+                "--config",
+                "ftq2_fdp",
+                "--prefetcher",
+                "mana",
+                "--job-threads",
+                "2",
+                "--out",
+                "merged.json",
+                "--cache-dir",
+                "/tmp/swip-cache",
+                "--shard-timeout",
+                "30",
+                "--retries",
+                "5"
+            ]),
+            Ok(Command::Fleet {
+                workers: vec![],
+                offline: true,
+                instructions: 20_000,
+                stride: 16,
+                workloads: vec!["secret_srv12".into()],
+                configs: vec!["ftq2_fdp".into()],
+                prefetchers: vec!["mana".into()],
+                job_threads: Some(2),
+                out: Some("merged.json".into()),
+                cache_dir: Some("/tmp/swip-cache".into()),
+                shard_timeout: 30,
+                retries: 5
+            })
+        );
     }
 
     #[test]
@@ -1083,6 +1476,18 @@ mod tests {
         assert!(parse(&["serve", "--max-conns", "0"]).is_err());
         assert!(parse(&["serve", "--keep-alive-timeout", "0"]).is_err());
         assert!(parse(&["serve", "--bogus"]).is_err());
+        assert!(parse(&["report", "--diff", "--migrate-history", "h.json"]).is_err());
+        assert!(parse(&["report", "--migrate-history", "h.json", "extra"]).is_err());
+        assert!(parse(&["report", "--check-regression", "h.json", "x"]).is_err());
+        assert!(parse(&["report", "--threshold", "10", "h.json"]).is_err());
+        assert!(parse(&["report", "--check-regression", "h.json", "--threshold", "0"]).is_err());
+        assert!(parse(&["fleet"]).is_err());
+        assert!(parse(&["fleet", "stop"]).is_err());
+        assert!(parse(&["fleet", "run"]).is_err());
+        assert!(parse(&["fleet", "run", "--offline", "--worker", "a:1"]).is_err());
+        assert!(parse(&["fleet", "run", "--offline", "--shard-timeout", "0"]).is_err());
+        assert!(parse(&["fleet", "run", "--offline", "--retries", "0"]).is_err());
+        assert!(parse(&["fleet", "run", "--offline", "--bogus"]).is_err());
     }
 
     #[test]
@@ -1289,6 +1694,139 @@ mod tests {
         .unwrap_err();
         assert!(err.to_string().contains("zero instrs/sec"), "{err}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn history_migration_and_regression_gate_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("swip_cli_history.json").display().to_string();
+        // Unreadable / unparsable → 2.
+        assert_eq!(
+            execute(Command::MigrateHistory {
+                file: "/no/such/history.json".into()
+            })
+            .unwrap(),
+            2
+        );
+        assert_eq!(
+            execute(Command::CheckRegression {
+                file: "/no/such/history.json".into(),
+                threshold: 25.0
+            })
+            .unwrap(),
+            2
+        );
+        std::fs::write(&path, "{}").unwrap();
+        assert_eq!(
+            execute(Command::CheckRegression {
+                file: path.clone(),
+                threshold: 25.0
+            })
+            .unwrap(),
+            2
+        );
+        // A bare v1 report migrates in place; a second migrate is a no-op;
+        // a single-entry history has nothing to regress against.
+        std::fs::write(
+            &path,
+            r#"{"version": 1, "kind": "swip-throughput", "instructions": 2000,
+                "stride": 24, "workloads": 2,
+                "configs": [{"config": "ftq2_fdp", "instructions": 4000,
+                             "cycles": 9000, "seconds": 0.01,
+                             "instrs_per_sec": 400000.0}],
+                "total_instructions": 4000, "total_seconds": 0.01,
+                "total_instrs_per_sec": 400000.0}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            execute(Command::MigrateHistory { file: path.clone() }).unwrap(),
+            0
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("swip-throughput-history"), "{text}");
+        assert_eq!(
+            execute(Command::MigrateHistory { file: path.clone() }).unwrap(),
+            0
+        );
+        assert_eq!(
+            execute(Command::CheckRegression {
+                file: path.clone(),
+                threshold: 25.0
+            })
+            .unwrap(),
+            0
+        );
+        // Append a 50%-slower entry: 25% gate trips (exit 1), a looser
+        // 60% gate does not.
+        let json = swip_report::Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let mut history = swip_bench::ThroughputHistory::from_json(&json).unwrap();
+        let mut slower = history.entries[0].clone();
+        slower.configs[0].instrs_per_sec = 200_000.0;
+        history.entries.push(slower);
+        std::fs::write(&path, history.to_json().render_pretty()).unwrap();
+        assert_eq!(
+            execute(Command::CheckRegression {
+                file: path.clone(),
+                threshold: 25.0
+            })
+            .unwrap(),
+            1
+        );
+        assert_eq!(
+            execute(Command::CheckRegression {
+                file: path.clone(),
+                threshold: 60.0
+            })
+            .unwrap(),
+            0
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fleet_offline_writes_a_plan_report() {
+        let dir = std::env::temp_dir();
+        let out = dir
+            .join("swip_cli_fleet_offline.json")
+            .display()
+            .to_string();
+        execute(Command::Fleet {
+            workers: vec![],
+            offline: true,
+            instructions: 2_000,
+            stride: 48,
+            workloads: vec![],
+            configs: vec!["ftq2_fdp".into()],
+            prefetchers: vec![],
+            job_threads: Some(1),
+            out: Some(out.clone()),
+            cache_dir: None,
+            shard_timeout: 120,
+            retries: 3,
+        })
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let report = swip_report::RunReport::from_json_str(&text).unwrap();
+        assert_eq!(report.figure, "plan");
+        assert_eq!(report.workloads.len(), 1);
+        let _ = std::fs::remove_file(&out);
+        // An unknown config label is a typed plan-admission error.
+        let err = execute(Command::Fleet {
+            workers: vec![],
+            offline: true,
+            instructions: 2_000,
+            stride: 48,
+            workloads: vec![],
+            configs: vec!["turbo".into()],
+            prefetchers: vec![],
+            job_threads: Some(1),
+            out: None,
+            cache_dir: None,
+            shard_timeout: 120,
+            retries: 3,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("turbo"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Cache shipping: warm cold workers from the coordinator's trace cache.
+//!
+//! The trace cache is content-addressed (filenames carry the workload's
+//! generator fingerprint), so shipping is a pure key-value sync: for
+//! every workload in the plan, materialize the trace locally, `GET` each
+//! worker's `/v1/cache/{fingerprint}`, and `PUT` the bytes wherever the
+//! answer is 404. Workers validate on ingest (the bytes must decode to
+//! the named workload's trace), so a bad ship degrades to a regenerate,
+//! never to wrong results.
+//!
+//! Everything here is best-effort by design — a worker that cannot be
+//! warmed simply generates its own traces — so the function returns
+//! telemetry rather than errors.
+
+use swip_bench::{ExperimentPlan, Session};
+use swip_serve::client::Connection;
+
+/// Telemetry from one [`warm_workers`] pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WarmStats {
+    /// Entries shipped (worker answered 404, PUT succeeded).
+    pub shipped: usize,
+    /// Entries the worker already had (GET answered 200).
+    pub already_warm: usize,
+    /// Entries skipped before any transfer: the coordinator has no cache
+    /// directory, the local bytes are missing, or they exceed the
+    /// server's body cap ([`swip_serve::MAX_BODY`]).
+    pub skipped: usize,
+    /// Transfer attempts that failed (connect error, PUT rejected — e.g.
+    /// a worker without a cache directory answers 409).
+    pub failed: usize,
+}
+
+/// Ships the plan's traces from the coordinator's cache to every worker
+/// that lacks them. Requires the coordinator session to have a cache
+/// directory (each trace is materialized locally first); without one,
+/// every entry counts as skipped.
+pub fn warm_workers(session: &Session, plan: &ExperimentPlan, workers: &[String]) -> WarmStats {
+    let mut stats = WarmStats::default();
+
+    // Materialize each plan trace locally, once, and keep its wire form.
+    let mut entries: Vec<(String, Vec<u8>)> = Vec::new();
+    for spec in plan.workloads() {
+        let Some(path) = session.trace_cache_path(spec) else {
+            stats.skipped += workers.len();
+            continue;
+        };
+        if !path.exists() {
+            let _ = session.trace(spec); // generates and stores
+        }
+        let Ok(bytes) = std::fs::read(&path) else {
+            stats.skipped += workers.len();
+            continue;
+        };
+        if bytes.len() > swip_serve::MAX_BODY {
+            stats.skipped += workers.len();
+            continue;
+        }
+        entries.push((session.trace_fingerprint(spec), bytes));
+    }
+
+    for addr in workers {
+        let Ok(mut conn) = Connection::connect(addr) else {
+            stats.failed += entries.len();
+            continue;
+        };
+        for (fingerprint, bytes) in &entries {
+            let path = format!("/v1/cache/{fingerprint}");
+            match conn.request_bytes("GET", &path, &[]) {
+                Ok((200, _)) => stats.already_warm += 1,
+                Ok((404, _)) => match conn.request_bytes("PUT", &path, bytes) {
+                    Ok((200, _)) => stats.shipped += 1,
+                    _ => stats.failed += 1,
+                },
+                _ => stats.failed += 1,
+            }
+        }
+    }
+    stats
+}

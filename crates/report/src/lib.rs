@@ -16,6 +16,9 @@
 //! * [`PlanSpec`] — the wire form of an experiment plan (workloads ×
 //!   configurations by name), the body `swip-serve` accepts on
 //!   `POST /v1/jobs`.
+//! * [`merge_plan_reports`] — reassembles sharded partial plan reports
+//!   into one plan-order report, byte-identical to a single-node run;
+//!   the reduce side of `swip-fleet`'s map-reduce.
 //! * [`Json`] — the dependency-free JSON value type used for all of the
 //!   above (the workspace is offline; no serde).
 
@@ -24,12 +27,14 @@
 
 mod diff;
 mod json;
+mod merge;
 mod plan;
 mod run_report;
 mod trace_event;
 
 pub use diff::{CounterDelta, ReportDiff};
 pub use json::{Json, JsonError};
+pub use merge::{merge_plan_reports, MergeError};
 pub use plan::{InsertionSpec, PlanSpec, PlanSpecError};
 pub use run_report::{ConfigReport, ReportError, RunReport, WorkloadReport, SCHEMA_VERSION};
 pub use trace_event::to_chrome_trace;

@@ -1,0 +1,334 @@
+//! Deterministic reassembly of sharded plan reports.
+//!
+//! `swip-fleet` slices an experiment plan into single-cell shards — one
+//! (workload, config) pair each — and runs every shard on whichever
+//! worker gets to it first. Each worker answers with a partial
+//! [`RunReport`] produced by `build_plan_report`, i.e. a `figure: "plan"`
+//! document with empty session counters and `job_seconds: 0.0`.
+//!
+//! [`merge_plan_reports`] folds those partials back into one report that
+//! is byte-identical to what a single node running the whole plan would
+//! have emitted. The caller supplies the plan order (workload names, each
+//! with its config labels in canonical order); arrival order of the
+//! partials is irrelevant by construction, which is what makes the merge
+//! safe under retries and dead-worker re-dispatch. Duplicate cells — the
+//! normal outcome of re-dispatching a shard whose first run was lost in
+//! flight — are accepted only if they agree exactly; a disagreement means
+//! a worker broke the determinism contract and is reported as an error
+//! rather than silently resolved.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::run_report::{ConfigReport, RunReport, WorkloadReport};
+
+/// Why a set of partial reports could not be merged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeError {
+    /// No partial reports were supplied.
+    NoPartials,
+    /// A partial is not a `figure: "plan"` report.
+    NotAPlanReport {
+        /// The figure the offending partial carries.
+        figure: String,
+    },
+    /// Two partials disagree on a scale knob that must be uniform across
+    /// the fleet (schema version, instructions, stride, or threads).
+    KnobMismatch {
+        /// Which knob disagreed.
+        field: &'static str,
+        /// The value the first partial established.
+        expected: u64,
+        /// The conflicting value.
+        found: u64,
+    },
+    /// The plan order names a cell no partial provided.
+    MissingCell {
+        /// Workload name of the missing cell.
+        workload: String,
+        /// Config label of the missing cell.
+        config: String,
+    },
+    /// Two partials provided the same cell with different measurements —
+    /// a violation of the byte-determinism contract.
+    ConflictingCell {
+        /// Workload name of the conflicting cell.
+        workload: String,
+        /// Config label of the conflicting cell.
+        config: String,
+    },
+    /// Two partials provided different non-empty coverage blocks for the
+    /// same workload.
+    ConflictingCoverage {
+        /// Workload whose coverage blocks disagree.
+        workload: String,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::NoPartials => write!(f, "no partial reports to merge"),
+            MergeError::NotAPlanReport { figure } => {
+                write!(f, "partial report has figure {figure:?}, expected \"plan\"")
+            }
+            MergeError::KnobMismatch {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "partial reports disagree on {field}: {expected} vs {found}"
+            ),
+            MergeError::MissingCell { workload, config } => {
+                write!(f, "no partial report covers cell ({workload}, {config})")
+            }
+            MergeError::ConflictingCell { workload, config } => write!(
+                f,
+                "cell ({workload}, {config}) was measured twice with different results \
+                 (determinism contract violated)"
+            ),
+            MergeError::ConflictingCoverage { workload } => write!(
+                f,
+                "workload {workload} has conflicting coverage blocks across partials"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Merges partial plan reports back into one plan-order [`RunReport`].
+///
+/// `order` is the plan's deterministic shape: workload names in plan
+/// order, each paired with its config labels in canonical config order.
+/// `partials` may arrive in any order and may overlap (re-dispatched
+/// shards); every cell named by `order` must be covered, duplicates must
+/// agree exactly, and all partials must share the plan knobs. The result
+/// is sealed and byte-identical to a single-node `build_plan_report` run
+/// of the same plan.
+pub fn merge_plan_reports(
+    order: &[(String, Vec<String>)],
+    partials: &[RunReport],
+) -> Result<RunReport, MergeError> {
+    let first = partials.first().ok_or(MergeError::NoPartials)?;
+    let mut cells: HashMap<(&str, &str), &ConfigReport> = HashMap::new();
+    let mut coverage: HashMap<&str, &[(String, u64)]> = HashMap::new();
+
+    for p in partials {
+        if p.figure != "plan" {
+            return Err(MergeError::NotAPlanReport {
+                figure: p.figure.clone(),
+            });
+        }
+        for (field, expected, found) in [
+            ("version", first.version, p.version),
+            ("instructions", first.instructions, p.instructions),
+            ("stride", first.stride, p.stride),
+            ("threads", first.threads, p.threads),
+        ] {
+            if expected != found {
+                return Err(MergeError::KnobMismatch {
+                    field,
+                    expected,
+                    found,
+                });
+            }
+        }
+        for w in &p.workloads {
+            if !w.coverage.is_empty() {
+                match coverage.get(w.name.as_str()) {
+                    None => {
+                        coverage.insert(&w.name, &w.coverage);
+                    }
+                    Some(seen) if *seen != w.coverage.as_slice() => {
+                        return Err(MergeError::ConflictingCoverage {
+                            workload: w.name.clone(),
+                        });
+                    }
+                    Some(_) => {}
+                }
+            }
+            for c in &w.configs {
+                match cells.get(&(w.name.as_str(), c.config.as_str())) {
+                    None => {
+                        cells.insert((&w.name, &c.config), c);
+                    }
+                    Some(seen) if *seen != c => {
+                        return Err(MergeError::ConflictingCell {
+                            workload: w.name.clone(),
+                            config: c.config.clone(),
+                        });
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+
+    let mut merged = RunReport::new("plan", first.instructions, first.stride, first.threads);
+    merged.version = first.version;
+    for (workload, configs) in order {
+        let mut w = WorkloadReport {
+            name: workload.clone(),
+            job_seconds: 0.0,
+            coverage: coverage
+                .get(workload.as_str())
+                .map(|c| c.to_vec())
+                .unwrap_or_default(),
+            configs: Vec::with_capacity(configs.len()),
+        };
+        for config in configs {
+            let cell = cells
+                .get(&(workload.as_str(), config.as_str()))
+                .ok_or_else(|| MergeError::MissingCell {
+                    workload: workload.clone(),
+                    config: config.clone(),
+                })?;
+            w.configs.push((*cell).clone());
+        }
+        merged.workloads.push(w);
+    }
+    merged.seal();
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(config: &str, value: u64) -> ConfigReport {
+        ConfigReport {
+            config: config.to_string(),
+            prefetcher: String::new(),
+            counters: vec![("retired".to_string(), value)],
+            values: vec![("ipc".to_string(), value as f64 / 2.0)],
+        }
+    }
+
+    fn partial(workload: &str, configs: Vec<ConfigReport>) -> RunReport {
+        let mut r = RunReport::new("plan", 20_000, 16, 2);
+        r.workloads.push(WorkloadReport {
+            name: workload.to_string(),
+            job_seconds: 0.0,
+            coverage: Vec::new(),
+            configs,
+        });
+        r.seal();
+        r
+    }
+
+    fn order() -> Vec<(String, Vec<String>)> {
+        vec![
+            ("w0".to_string(), vec!["a".to_string(), "b".to_string()]),
+            ("w1".to_string(), vec!["a".to_string(), "b".to_string()]),
+        ]
+    }
+
+    fn four_partials() -> Vec<RunReport> {
+        vec![
+            partial("w0", vec![cell("a", 1)]),
+            partial("w0", vec![cell("b", 2)]),
+            partial("w1", vec![cell("a", 3)]),
+            partial("w1", vec![cell("b", 4)]),
+        ]
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut partials = four_partials();
+        let forward = merge_plan_reports(&order(), &partials).unwrap();
+        partials.reverse();
+        let backward = merge_plan_reports(&order(), &partials).unwrap();
+        assert_eq!(forward.to_json(), backward.to_json());
+        // Rotations too: every arrival order reassembles the same bytes.
+        for _ in 0..partials.len() {
+            let head = partials.remove(0);
+            partials.push(head);
+            let rotated = merge_plan_reports(&order(), &partials).unwrap();
+            assert_eq!(forward.to_json(), rotated.to_json());
+        }
+        assert_eq!(forward.fingerprint, forward.compute_fingerprint());
+        assert!(forward.session.is_empty());
+    }
+
+    #[test]
+    fn duplicate_identical_cells_are_accepted() {
+        let mut partials = four_partials();
+        partials.push(partial("w1", vec![cell("b", 4)]));
+        let merged = merge_plan_reports(&order(), &partials).unwrap();
+        assert_eq!(merged.workloads.len(), 2);
+        assert_eq!(merged.workloads[1].configs.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_conflicting_cells_are_rejected() {
+        let mut partials = four_partials();
+        partials.push(partial("w1", vec![cell("b", 999)]));
+        let err = merge_plan_reports(&order(), &partials).unwrap_err();
+        assert_eq!(
+            err,
+            MergeError::ConflictingCell {
+                workload: "w1".to_string(),
+                config: "b".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn missing_cell_is_reported() {
+        let partials = vec![partial("w0", vec![cell("a", 1)])];
+        let err = merge_plan_reports(&order(), &partials).unwrap_err();
+        assert_eq!(
+            err,
+            MergeError::MissingCell {
+                workload: "w0".to_string(),
+                config: "b".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn knob_mismatch_is_reported() {
+        let mut partials = four_partials();
+        partials[2].instructions = 40_000;
+        let err = merge_plan_reports(&order(), &partials).unwrap_err();
+        assert_eq!(
+            err,
+            MergeError::KnobMismatch {
+                field: "instructions",
+                expected: 20_000,
+                found: 40_000,
+            }
+        );
+    }
+
+    #[test]
+    fn non_plan_figures_are_rejected() {
+        let mut partials = four_partials();
+        partials[0].figure = "fig1".to_string();
+        assert!(matches!(
+            merge_plan_reports(&order(), &partials),
+            Err(MergeError::NotAPlanReport { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert_eq!(
+            merge_plan_reports(&order(), &[]),
+            Err(MergeError::NoPartials)
+        );
+    }
+
+    #[test]
+    fn coverage_survives_the_merge() {
+        let mut partials = four_partials();
+        partials[2].workloads[0].coverage = vec![("lines_covered".to_string(), 7)];
+        let merged = merge_plan_reports(&order(), &partials).unwrap();
+        assert_eq!(
+            merged.workloads[1].coverage_counter("lines_covered"),
+            Some(7)
+        );
+    }
+}

@@ -23,8 +23,10 @@ use std::io::{self, Read, Write};
 
 /// Maximum bytes in the request line + headers.
 const MAX_HEAD: usize = 16 * 1024;
-/// Maximum bytes in a request body.
-const MAX_BODY: usize = 1024 * 1024;
+/// Maximum bytes in a request body. Public because clients (the fleet
+/// coordinator's cache shipping, notably) must know what the server will
+/// refuse to buffer.
+pub const MAX_BODY: usize = 1024 * 1024;
 
 /// A parse-level rejection, mapped to `400 Bad Request` by the server.
 #[derive(Debug)]
@@ -296,6 +298,9 @@ pub struct Response {
     pub headers: Vec<(String, String)>,
     /// Response body bytes.
     pub body: Vec<u8>,
+    /// `Content-Type` header value (`application/json` unless built with
+    /// [`Response::bytes`]).
+    pub content_type: &'static str,
     /// Force `Connection: close` even on a kept-alive connection.
     pub close: bool,
 }
@@ -307,6 +312,18 @@ impl Response {
             status,
             headers: Vec::new(),
             body: body.into().into_bytes(),
+            content_type: "application/json",
+            close: false,
+        }
+    }
+
+    /// A binary `application/octet-stream` response (cache shipping).
+    pub fn bytes(status: u16, body: Vec<u8>) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body,
+            content_type: "application/octet-stream",
             close: false,
         }
     }
@@ -343,9 +360,10 @@ impl Response {
             "close"
         };
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             reason(self.status),
+            self.content_type,
             self.body.len(),
             connection,
         );

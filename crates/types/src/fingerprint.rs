@@ -1,0 +1,106 @@
+//! A tiny streaming FNV-1a hasher for configuration fingerprints.
+//!
+//! Several layers of the workspace need a stable, dependency-free content
+//! address: `swip-report` fingerprints run configurations, and the trace
+//! disk cache keys its files by the workload parameters that generated
+//! them (so two sessions with different generator tunings can share one
+//! cache directory without ever reading each other's traces). Both uses
+//! want the same shape — feed fields, get 16 hex digits — so the hasher
+//! lives here in the vocabulary crate.
+//!
+//! Fields are separated by an out-of-band `0xff` marker byte folded into
+//! the state, so `["ab", "c"]` and `["a", "bc"]` hash differently.
+
+/// A streaming 64-bit FNV-1a hasher with explicit field separation.
+///
+/// # Examples
+///
+/// ```
+/// use swip_types::Fnv1a;
+///
+/// let mut h = Fnv1a::new();
+/// h.field(b"secret_srv12");
+/// h.field(&300_000u64.to_le_bytes());
+/// let fp = h.finish();
+/// assert_eq!(fp.len(), 16);
+/// assert!(fp.chars().all(|c| c.is_ascii_hexdigit()));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Fnv1a {
+    hash: u64,
+}
+
+impl Fnv1a {
+    const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a { hash: Self::BASIS }
+    }
+
+    /// Folds raw bytes into the state (no field separator).
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash ^= b as u64;
+            self.hash = self.hash.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds one delimited field: the bytes, then the `0xff` separator.
+    pub fn field(&mut self, bytes: &[u8]) {
+        self.write(bytes);
+        self.hash ^= 0xff;
+        self.hash = self.hash.wrapping_mul(Self::PRIME);
+    }
+
+    /// The current state as 16 lowercase hex digits.
+    pub fn finish(&self) -> String {
+        format!("{:016x}", self.hash)
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_separation_distinguishes_splits() {
+        let mut a = Fnv1a::new();
+        a.field(b"ab");
+        a.field(b"c");
+        let mut b = Fnv1a::new();
+        b.field(b"a");
+        b.field(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn deterministic_and_hex_shaped() {
+        let fp = |s: &[u8]| {
+            let mut h = Fnv1a::new();
+            h.field(s);
+            h.finish()
+        };
+        assert_eq!(fp(b"x"), fp(b"x"));
+        assert_ne!(fp(b"x"), fp(b"y"));
+        let f = fp(b"x");
+        assert_eq!(f.len(), 16);
+        assert!(f
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+    }
+
+    #[test]
+    fn empty_input_still_hashes_the_separator() {
+        let mut h = Fnv1a::new();
+        h.field(b"");
+        assert_ne!(h.finish(), Fnv1a::new().finish());
+    }
+}

@@ -23,12 +23,14 @@
 #![warn(missing_docs)]
 
 mod addr;
+mod fingerprint;
 mod instr;
 mod prefetcher;
 mod reg;
 mod stats;
 
 pub use addr::{Addr, LineAddr, CACHE_LINE_SIZE};
+pub use fingerprint::Fnv1a;
 pub use instr::{BranchKind, InstrKind, Instruction};
 pub use prefetcher::{PrefetcherId, PrefetcherParseError};
 pub use reg::Reg;

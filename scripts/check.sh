@@ -129,11 +129,13 @@ echo "==> smoke: swip bench --measure (throughput history harness)"
 # BENCH_throughput.json at the repo root (that one is the full sweep).
 # Two runs: --measure appends to a schema-v2 history, so the second run
 # must grow the entries array rather than overwrite the first.
+# 20k instructions (not 2k): the per-config regression gate below
+# compares the two entries, and tiny sweeps are too noisy for a 25% gate.
 rm -f target/BENCH_throughput.json
 (cd target && cargo run -p swip-cli --release --quiet -- bench --measure \
-    --instructions 2000 --stride 24)
+    --instructions 20000 --stride 24)
 (cd target && cargo run -p swip-cli --release --quiet -- bench --measure \
-    --instructions 2000 --stride 24)
+    --instructions 20000 --stride 24)
 if ! [ -s target/BENCH_throughput.json ]; then
     echo "FAIL: target/BENCH_throughput.json missing or empty" >&2
     exit 1
@@ -147,6 +149,45 @@ fi
 # nonzero on malformed schema or zero instrs/sec.
 cargo run -p swip-cli --release --quiet -- report target/BENCH_throughput.json
 echo "throughput history present, well-formed, 2 entries after 2 runs"
+
+echo "==> swip report --check-regression (per-config throughput gate)"
+# Two identical back-to-back sweeps must not differ by >25% per config;
+# a bigger drop means the simulator hot path genuinely regressed.
+cargo run -p swip-cli --release --quiet -- report \
+    --check-regression target/BENCH_throughput.json
+# The tracked history at the repo root is gated too (its newest entry
+# against the one before it; a single-entry history passes vacuously).
+cargo run -p swip-cli --release --quiet -- report \
+    --check-regression BENCH_throughput.json
+# Exit-code contract: a fabricated 50% drop must trip the default gate.
+regress_dir="target/regression-gate"
+rm -rf "$regress_dir"
+mkdir -p "$regress_dir"
+cat >"$regress_dir/slow.json" <<'EOF'
+{"version": 2, "kind": "swip-throughput-history", "entries": [
+  {"version": 1, "kind": "swip-throughput", "instructions": 2000,
+   "stride": 24, "workloads": 2,
+   "configs": [{"config": "ftq2_fdp", "instructions": 4000, "cycles": 9000,
+                "seconds": 0.01, "instrs_per_sec": 400000.0}],
+   "total_instructions": 4000, "total_seconds": 0.01,
+   "total_instrs_per_sec": 400000.0},
+  {"version": 1, "kind": "swip-throughput", "instructions": 2000,
+   "stride": 24, "workloads": 2,
+   "configs": [{"config": "ftq2_fdp", "instructions": 4000, "cycles": 9000,
+                "seconds": 0.02, "instrs_per_sec": 200000.0}],
+   "total_instructions": 4000, "total_seconds": 0.02,
+   "total_instrs_per_sec": 200000.0}]}
+EOF
+set +e
+cargo run -p swip-cli --release --quiet -- report \
+    --check-regression "$regress_dir/slow.json" >/dev/null
+code=$?
+set -e
+if [ "$code" -ne 1 ]; then
+    echo "FAIL: a collapsed instrs/sec must exit 1 (got $code)" >&2
+    exit 1
+fi
+echo "regression gate clean; fabricated collapse exits 1"
 
 echo "==> smoke: swip serve (keep-alive probe, connection flood, graceful drain)"
 cargo build -q --release -p swip-cli -p swip-serve
@@ -216,5 +257,58 @@ if ! wait "$serve_pid"; then
     exit 1
 fi
 echo "serve smoke passed (served on $addr, keep-alive + flood probed, drained, exit 0)"
+
+echo "==> smoke: swip fleet (2 workers, byte-identical merge, dead-worker re-dispatch)"
+fleet_dir="target/fleet-smoke"
+rm -rf "$fleet_dir"
+mkdir -p "$fleet_dir"
+# Two real worker processes on ephemeral ports. --job-threads is pinned
+# on both workers AND the offline reference: the thread count is part of
+# the report header, so it must match for the byte-compare below.
+./target/release/swip serve --addr 127.0.0.1:0 --workers 2 --job-threads 2 \
+    --instructions 20000 --stride 24 >"$fleet_dir/worker1.log" 2>&1 &
+fleet_w1_pid=$!
+./target/release/swip serve --addr 127.0.0.1:0 --workers 2 --job-threads 2 \
+    --instructions 20000 --stride 24 >"$fleet_dir/worker2.log" 2>&1 &
+fleet_w2_pid=$!
+fleet_w1_addr=""
+fleet_w2_addr=""
+for _ in $(seq 1 50); do
+    fleet_w1_addr=$(sed -n 's/^listening on //p' "$fleet_dir/worker1.log")
+    fleet_w2_addr=$(sed -n 's/^listening on //p' "$fleet_dir/worker2.log")
+    [ -n "$fleet_w1_addr" ] && [ -n "$fleet_w2_addr" ] && break
+    sleep 0.2
+done
+if [ -z "$fleet_w1_addr" ] || [ -z "$fleet_w2_addr" ]; then
+    echo "FAIL: fleet workers never reported their addresses" >&2
+    cat "$fleet_dir"/worker*.log >&2
+    kill -9 "$fleet_w1_pid" "$fleet_w2_pid" 2>/dev/null || true
+    exit 1
+fi
+# The single-node reference, then the 2-worker sweep of the same plan.
+./target/release/swip fleet run --offline --instructions 20000 --stride 24 \
+    --job-threads 2 --out "$fleet_dir/single.json" >/dev/null
+./target/release/swip fleet run --worker "$fleet_w1_addr" \
+    --worker "$fleet_w2_addr" --instructions 20000 --stride 24 \
+    --out "$fleet_dir/merged.json"
+if ! cmp -s "$fleet_dir/single.json" "$fleet_dir/merged.json"; then
+    echo "FAIL: fleet-merged report differs from the single-node report" >&2
+    exit 1
+fi
+# SIGKILL one worker; a re-run with the dead address still configured
+# must drop it at registration and complete on the survivor — exit 0,
+# same bytes.
+kill -9 "$fleet_w2_pid" 2>/dev/null || true
+wait "$fleet_w2_pid" 2>/dev/null || true
+./target/release/swip fleet run --worker "$fleet_w1_addr" \
+    --worker "$fleet_w2_addr" --instructions 20000 --stride 24 \
+    --out "$fleet_dir/merged-after-kill.json"
+if ! cmp -s "$fleet_dir/single.json" "$fleet_dir/merged-after-kill.json"; then
+    echo "FAIL: post-kill fleet report differs from the single-node report" >&2
+    exit 1
+fi
+kill -9 "$fleet_w1_pid" 2>/dev/null || true
+wait "$fleet_w1_pid" 2>/dev/null || true
+echo "fleet smoke passed (2-worker merge byte-identical, survived a SIGKILL)"
 
 echo "All checks passed."
